@@ -1,0 +1,27 @@
+# Convenience targets for the XSPCL reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/test_calibration.py
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+figures:
+	$(PYTHON) -m repro figures all
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+clean:
+	rm -rf .pytest_cache benchmarks/out build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""ABL-1 — fusion ablation (paper §4.1 discussion).
+
+"This issue can be addressed in future versions by grouping several
+components into a group that is scheduled as one entity. ...  However,
+this approach reduces the amount of parallelism in the application so it
+might degrade the parallel performance.  Choosing the right balance is
+subject to further research."
+
+We run both structures (split stages vs fused stages) under the same
+Hinch runtime at several node counts: fusion wins at 1 node (fewer cache
+misses), splitting wins at scale (more parallelism).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import ablation_fusion
+
+
+def bench_ablation_fusion(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: ablation_fusion(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "abl1_fusion", figure.render())
+    by_key = {(row[0], row[1]): (row[2], row[3], row[4]) for row in figure.rows}
+    for variant in ("PiP-2", "JPiP-1"):
+        split1, _, fused1 = by_key[(variant, 1)]
+        split9, _, fused9 = by_key[(variant, 9)]
+        assert fused1 < split1, f"{variant}: fusion should win at 1 node"
+        assert split9 < fused9, f"{variant}: splitting should win at 9 nodes"
+    # §4.1 grouping (JPiP only): cuts cycles at 1 node via cache reuse,
+    # while retaining (most of) the parallelism at scale
+    split1, grouped1, _ = by_key[("JPiP-1", 1)]
+    assert grouped1 < split1, "grouping should win at 1 node"

@@ -1,0 +1,60 @@
+"""ABL-4 — heterogeneous tiles (the paper's Cell direction, §6).
+
+Sweeps Cell-like tiles (one baseline core + N fast vector engines)
+against homogeneous tiles of the same core count on the PiP and Blur
+applications: compute-heavy Blur profits almost linearly from faster
+cores, while PiP's larger memory share caps the gain — the per-core-type
+version of the paper's compute/communication-ratio argument.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.harness import PIPELINE_DEPTH
+from repro.bench.report import format_table
+from repro.spacecake import MachineConfig, SimRuntime
+
+
+def _run(harness, variant, machine):
+    return SimRuntime(
+        harness.program(variant, "xspcl"),
+        harness.registry,
+        nodes=machine.nodes,
+        pipeline_depth=PIPELINE_DEPTH,
+        max_iterations=harness.frames(variant),
+        cost_params=harness.cost_params,
+        machine=machine,
+    ).run()
+
+
+def bench_ablation_heterogeneous(benchmark, harness, out_dir):
+    def sweep():
+        rows = []
+        for variant in ("PiP-1", "Blur-5x5"):
+            homogeneous = _run(harness, variant, MachineConfig(nodes=4))
+            cellish = _run(
+                harness, variant,
+                MachineConfig(nodes=4, core_speeds=(1.0, 4.0, 4.0, 4.0)),
+            )
+            rows.append(
+                (
+                    variant,
+                    homogeneous.cycles / 1e6,
+                    cellish.cycles / 1e6,
+                    homogeneous.cycles / cellish.cycles,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = format_table(
+        ("variant", "4x1.0 Mcyc", "1+3x4.0 Mcyc", "Cell-ish gain"),
+        rows,
+        title="ABL-4: homogeneous vs Cell-like tile (4 cores)",
+    )
+    emit(out_dir, "abl4_heterogeneous", text)
+    gains = {row[0]: row[3] for row in rows}
+    # every app gains from the faster engines...
+    assert all(g > 1.0 for g in gains.values())
+    # ...but the compute-dominated app gains more
+    assert gains["Blur-5x5"] > gains["PiP-1"]

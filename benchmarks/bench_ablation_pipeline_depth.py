@@ -1,0 +1,27 @@
+"""ABL-2 — pipeline depth ablation.
+
+The paper fixes five concurrent iterations ("To exploit pipeline
+parallelism ... five iterations are simultaneously scheduled").  This
+sweep shows why: at depth 1 a multi-node machine starves between
+iterations; returns diminish beyond the point where dependencies, not
+admission, bound concurrency.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import ablation_pipeline_depth
+
+
+def bench_ablation_pipeline_depth(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: ablation_pipeline_depth(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "abl2_pipeline_depth", figure.render())
+    cycles = [row[3] for row in figure.rows]
+    depths = [row[2] for row in figure.rows]
+    # deeper pipeline never slower, and depth 5 clearly beats depth 1
+    assert cycles == sorted(cycles, reverse=True) or min(cycles) == cycles[-1]
+    d1 = cycles[depths.index(1)]
+    d5 = cycles[depths.index(5)]
+    assert d5 < d1 * 0.8

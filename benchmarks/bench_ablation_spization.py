@@ -1,0 +1,23 @@
+"""ABL-3 — SP-ization penalty (paper §3.3).
+
+Crossdep regions are deliberately non-SP; converting them to SP form
+(synchronization point between the parblocks) enables prediction but
+forfeits the overlap between the blur phases.  The penalty is the price
+the paper's Fig. 5 structure avoids.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import ablation_spization
+
+
+def bench_ablation_spization(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: ablation_spization(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "abl3_spization", figure.render())
+    for row in figure.rows:
+        nodes, crossdep, sp = row[0], row[1], row[2]
+        # SP form is never faster than crossdep
+        assert sp >= crossdep * 0.999, f"nodes={nodes}: sp {sp} < crossdep {crossdep}"

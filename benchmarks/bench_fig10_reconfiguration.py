@@ -1,0 +1,47 @@
+"""FIG10 — Figure 10: reconfiguration overhead, 1..9 nodes.
+
+Regenerates the paper's reconfiguration experiment: PiP-12 / JPiP-12
+toggle their second picture-in-picture every 12 frames, Blur-35 switches
+kernels every 12 frames; run time is divided by the (exposure-weighted)
+static baseline.
+
+Paper headline: overhead below 15% despite frequent reconfiguration;
+grows with node count because draining serializes the machine; small
+non-monotonic variations occur.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import fig10_reconfiguration_overhead
+
+
+def bench_fig10_reconfiguration(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: fig10_reconfiguration_overhead(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "fig10", figure.render())
+    for row in figure.rows:
+        overheads = [float(v.rstrip("%")) for v in row[1:]]
+        assert max(overheads) < 20.0, f"{row[0]}: {overheads}"
+        # grows with nodes (low third vs high third)
+        assert sum(overheads[-3:]) >= sum(overheads[:3]), f"{row[0]}: {overheads}"
+
+
+def bench_fig10_single_reconfig_run(benchmark, harness):
+    """Raw cost of one reconfigurable simulation (Blur-35 at 4 nodes)."""
+    from repro.bench.harness import PIPELINE_DEPTH
+    from repro.spacecake import SimRuntime
+
+    def run():
+        return SimRuntime(
+            harness.program("Blur-35", "xspcl"),
+            harness.registry,
+            nodes=4,
+            pipeline_depth=PIPELINE_DEPTH,
+            max_iterations=harness.frames("Blur-35"),
+            cost_params=harness.cost_params,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.reconfig_count >= 2

@@ -1,0 +1,47 @@
+"""FIG8 — Figure 8: sequential overhead of XSPCL vs hand-written code.
+
+Regenerates the paper's Figure 8 series: total cycles of each application
+variant in its XSPCL form (1 node, pipeline depth 5, Hinch overheads) and
+its fused sequential form (no runtime), for PiP-1/2, JPiP-1/2,
+Blur-3x3/5x5 over 96/24 frames.
+
+Paper headline: PiP ~5%, JPiP ~18% (cache misses from stream buffering),
+Blur ~0 (<1.1%, noise).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import fig8_sequential_overhead
+from repro.bench.harness import STATIC_VARIANTS
+
+
+def bench_fig8_sequential_overhead(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: fig8_sequential_overhead(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "fig8", figure.render())
+    assert len(figure.rows) == len(STATIC_VARIANTS)
+    overheads = {row[0]: float(row[3].rstrip("%")) / 100 for row in figure.rows}
+    # shape assertions, mirroring tests/test_calibration.py
+    assert overheads["JPiP-1"] > overheads["PiP-1"]
+    assert abs(overheads["Blur-3x3"]) < 0.05
+
+
+def bench_fig8_pip1_xspcl_run(benchmark, harness):
+    """Raw simulation cost of the PiP-1 XSPCL variant (fresh run)."""
+    from repro.bench.harness import PIPELINE_DEPTH
+    from repro.spacecake import SimRuntime
+
+    def run():
+        return SimRuntime(
+            harness.program("PiP-1", "xspcl"),
+            harness.registry,
+            nodes=1,
+            pipeline_depth=PIPELINE_DEPTH,
+            max_iterations=harness.frames("PiP-1"),
+            cost_params=harness.cost_params,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.completed_iterations == harness.frames("PiP-1")

@@ -1,0 +1,44 @@
+"""FIG9 — Figure 9: speedup on the SpaceCAKE tile, 1..9 nodes.
+
+Regenerates the paper's speedup curves for all six static variants,
+relative to the fastest sequential version of each application ("For
+Blur, this is the parallel version"); at one node all synchronization
+operations are disabled.
+
+Paper headline: good efficiency everywhere; JPiP worst; Blur best.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import fig9_speedup
+
+
+def bench_fig9_speedup(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: fig9_speedup(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "fig9", figure.render())
+    speedups = {row[0]: [float(v) for v in row[1:]] for row in figure.rows}
+    assert speedups["Blur-5x5"][-1] > speedups["JPiP-1"][-1]
+    for name, series in speedups.items():
+        assert series[3] > 2.5, f"{name} scales poorly at 4 nodes: {series}"
+
+
+def bench_fig9_single_point_pip1_9nodes(benchmark, harness):
+    """Raw cost of one multi-node simulation (PiP-1 at 9 nodes)."""
+    from repro.bench.harness import PIPELINE_DEPTH
+    from repro.spacecake import SimRuntime
+
+    def run():
+        return SimRuntime(
+            harness.program("PiP-1", "xspcl"),
+            harness.registry,
+            nodes=9,
+            pipeline_depth=PIPELINE_DEPTH,
+            max_iterations=harness.frames("PiP-1"),
+            cost_params=harness.cost_params,
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.utilization > 0.4

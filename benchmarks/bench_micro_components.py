@@ -1,0 +1,73 @@
+"""MICRO — substrate microbenchmarks: pixel kernels and the JPEG codec.
+
+Throughput of the numpy kernels and the from-scratch mini-JPEG codec on
+realistic plane sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.components.filters import (
+    blend_plane,
+    blur_plane_horizontal,
+    blur_plane_vertical,
+    downscale_plane,
+    gaussian_kernel_1d,
+)
+from repro.components.jpeg import (
+    decode_frame,
+    encode_frame,
+    entropy_decode_frame,
+    idct_plane,
+)
+from repro.components.video import synthetic_clip, synthetic_frame
+
+
+def bench_synthetic_frame_720x576(benchmark):
+    benchmark(lambda: synthetic_frame(3, 720, 576))
+
+
+def bench_downscale_720x576_x4(benchmark):
+    plane = synthetic_frame(0, 720, 576).y
+    benchmark(lambda: downscale_plane(plane, 4))
+
+
+def bench_blend_720x576(benchmark):
+    bg = synthetic_frame(0, 720, 576, seed=1).y
+    overlay = downscale_plane(synthetic_frame(0, 720, 576, seed=2).y, 4)
+    benchmark(lambda: blend_plane(bg, overlay, (16, 16)))
+
+
+def bench_blur_360x288_5x5(benchmark):
+    plane = synthetic_frame(0, 360, 288).y
+    kernel = gaussian_kernel_1d(5, 1.0)
+
+    def op():
+        return blur_plane_vertical(blur_plane_horizontal(plane, kernel), kernel)
+
+    benchmark(op)
+
+
+def bench_jpeg_encode_160x128(benchmark):
+    frame = synthetic_clip(160, 128, 1, seed=4, detail=0.3)[0]
+    benchmark(lambda: encode_frame(frame, quality=75))
+
+
+def bench_jpeg_entropy_decode_160x128(benchmark):
+    frame = synthetic_clip(160, 128, 1, seed=4, detail=0.3)[0]
+    encoded = encode_frame(frame, quality=75)
+    benchmark(lambda: entropy_decode_frame(encoded))
+
+
+def bench_jpeg_idct_160x128(benchmark):
+    frame = synthetic_clip(160, 128, 1, seed=4, detail=0.3)[0]
+    coeffs = entropy_decode_frame(encode_frame(frame, quality=75))["y"]
+    benchmark(lambda: idct_plane(coeffs))
+
+
+def bench_jpeg_full_decode_160x128(benchmark):
+    frame = synthetic_clip(160, 128, 1, seed=4, detail=0.3)[0]
+    encoded = encode_frame(frame, quality=75)
+    decoded = benchmark(lambda: decode_frame(encoded))
+    assert decoded.width == 160

@@ -1,0 +1,115 @@
+"""MICRO — substrate microbenchmarks: Hinch primitives.
+
+Wall-clock throughput of the runtime building blocks (streams, event
+queues, the central job queue, scheduler step, expansion).  These are
+pytest-benchmark timings of our Python implementation — useful for
+spotting regressions in the reproduction itself, not cycle claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AppBuilder, expand
+from repro.hinch import Event, EventBroker, Stream
+from repro.hinch.jobqueue import Job, JobQueue
+from repro.hinch.scheduler import DataflowScheduler
+
+from tests.hinch.helpers import PORTS
+
+
+def _linear_program(stages: int = 10):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "producer", streams={"output": "s0"})
+    for i in range(stages):
+        main.component(
+            f"f{i}", "doubler", streams={"input": f"s{i}", "output": f"s{i+1}"}
+        )
+    main.component("snk", "collector", streams={"input": f"s{stages}"})
+    return expand(b.build(), PORTS)
+
+
+def bench_stream_put_get(benchmark):
+    stream = Stream("x")
+    payload = np.zeros(1024)
+
+    def op(it=[0]):
+        k = it[0]
+        it[0] += 1
+        stream.put(k, payload)
+        stream.get(k)
+        stream.release(k)
+
+    benchmark(op)
+
+
+def bench_stream_sliced_buffer(benchmark):
+    stream = Stream("x")
+
+    def op(it=[0]):
+        k = it[0]
+        it[0] += 1
+        for i in range(8):
+            buf = stream.ensure_buffer(k, lambda: np.zeros(256))
+            buf[i * 32 : (i + 1) * 32] = i
+        stream.release(k)
+
+    benchmark(op)
+
+
+def bench_event_queue_post_poll(benchmark):
+    broker = EventBroker()
+
+    def op():
+        for i in range(16):
+            broker.post("q", Event("e", payload=i))
+        assert len(broker.queue("q").poll()) == 16
+
+    benchmark(op)
+
+
+def bench_job_queue_throughput(benchmark):
+    queue = JobQueue()
+    jobs = [Job(iteration=0, node_id=f"n{i}") for i in range(64)]
+
+    def op():
+        queue.push_all(jobs)
+        for _ in range(64):
+            queue.try_pop()
+
+    benchmark(op)
+
+
+def bench_scheduler_full_run(benchmark):
+    program = _linear_program(stages=10)
+
+    def run():
+        sched = DataflowScheduler(
+            program.build_graph(), pipeline_depth=5, max_iterations=50
+        )
+        frontier = list(sched.start())
+        count = 0
+        while frontier:
+            job = frontier.pop()
+            count += 1
+            frontier.extend(sched.complete(job))
+        assert sched.done
+        return count
+
+    assert benchmark(run) == 12 * 50
+
+
+def bench_expansion_pip2(benchmark):
+    from repro.apps import build_pip, make_program
+
+    spec = build_pip(2)
+    benchmark(lambda: make_program(spec, name="pip"))
+
+
+def bench_build_graph_jpip(benchmark):
+    from repro.apps import build_jpip, make_program
+
+    program = make_program(build_jpip(2), name="jpip")
+    graph = benchmark(lambda: program.build_graph().graph)
+    assert len(graph) > 500

@@ -1,0 +1,22 @@
+"""PRED — prediction accuracy: PAMELA/SPC estimate vs simulation.
+
+The framework position of XSPCL (paper Fig. 1) feeds the specification
+to a performance estimation tool; this bench quantifies how close the
+analytic SPC evaluation comes to the event-driven simulation across
+applications and node counts.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.figures import prediction_accuracy
+
+
+def bench_prediction_accuracy(benchmark, harness, out_dir):
+    figure = benchmark.pedantic(
+        lambda: prediction_accuracy(harness), rounds=1, iterations=1
+    )
+    emit(out_dir, "prediction_accuracy", figure.render())
+    for row in figure.rows:
+        error = abs(float(row[4].rstrip("%"))) / 100
+        assert error < 0.40, f"{row[0]}@{row[1]}: error {error:.0%}"

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+``REPRO_BENCH_SCALE`` (default 1.0) scales the per-variant frame counts;
+set it below 1 for quick smoke runs (CI) — the paper-scale figures use
+the full 96/24 frames.
+
+Rendered figures are written to ``benchmarks/out/`` so a benchmark run
+leaves the regenerated tables/charts on disk next to the timings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import Harness
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    """One memoized harness for the whole benchmark session."""
+    return Harness(frames_scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Write a rendered figure and echo it to stdout (visible with -s)."""
+    (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)

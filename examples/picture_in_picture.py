@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Picture-in-Picture: the paper's first application, end to end.
+
+Builds the PiP application (background video + downscaled overlay video,
+per-field pipelines, data-parallel slices) at a reduced geometry, runs it
+on the threaded runtime, verifies the output against a directly computed
+reference, and sweeps node counts on the simulator.
+
+Run:  python examples/picture_in_picture.py
+"""
+
+import numpy as np
+
+from repro.apps import build_pip, make_program
+from repro.bench.report import format_table
+from repro.components.filters import blend_plane, downscale_plane
+from repro.components.registry import default_registry
+from repro.components.video import synthetic_frame
+from repro.hinch import ThreadedRuntime
+from repro.spacecake import SimRuntime
+
+WIDTH, HEIGHT, FACTOR, SLICES, FRAMES = 128, 96, 4, 4, 6
+
+spec = build_pip(
+    1, width=WIDTH, height=HEIGHT, factor=FACTOR, slices=SLICES,
+    frames=FRAMES, collect=True,
+)
+program = make_program(spec, name="pip-demo")
+print(f"PiP expanded: {len(program.components)} component instances")
+
+# -- run on the threaded Hinch runtime -------------------------------------
+result = ThreadedRuntime(
+    program, default_registry(), nodes=3, pipeline_depth=3,
+    max_iterations=FRAMES,
+).run()
+frames = result.components["sink"].ordered_frames()
+print(f"produced {len(frames)} frames in {result.elapsed_seconds:.3f}s")
+
+# -- verify against a straight-line reference ---------------------------------
+bg = synthetic_frame(0, WIDTH, HEIGHT, seed=100)
+pip = synthetic_frame(0, WIDTH, HEIGHT, seed=200)
+small = downscale_plane(pip.y, FACTOR)
+expected_y = blend_plane(bg.y, small, (16, 16))
+assert np.array_equal(frames[0].y, expected_y), "output mismatch!"
+print("frame 0 matches the hand-computed reference (Y plane) ✓")
+
+# -- sweep node counts on the SpaceCAKE simulator -----------------------------
+rows = []
+base = None
+for nodes in (1, 2, 4, 8):
+    sim = SimRuntime(
+        program, default_registry(), nodes=nodes, pipeline_depth=5,
+        max_iterations=FRAMES,
+    ).run()
+    base = base or sim.cycles
+    rows.append((nodes, sim.cycles / 1e6, f"{base / sim.cycles:.2f}x",
+                 f"{sim.utilization:.0%}"))
+print()
+print(format_table(("nodes", "Mcycles", "speedup", "utilization"), rows,
+                   title="PiP on the SpaceCAKE model"))

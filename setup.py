@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on environments whose setuptools lacks
+the PEP 660 editable-wheel path (e.g. no ``wheel`` package available
+offline).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

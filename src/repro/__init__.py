@@ -1,0 +1,41 @@
+"""repro — XSPCL, Hinch, and SpaceCAKE: an ICPP 2007 reproduction.
+
+A component-based coordination language for efficient reconfigurable
+streaming applications (Nijhuis, Bos, Bal), reproduced as a Python
+library:
+
+* :mod:`repro.core` — the XSPCL language: parse/validate/expand/build;
+* :mod:`repro.hinch` — the runtime: streams, events, dataflow scheduling,
+  reconfiguration, threaded execution;
+* :mod:`repro.spacecake` — the MPSoC machine model and virtual-time
+  simulation backend;
+* :mod:`repro.prediction` — SPC analytic performance prediction, WCET,
+  deadlines;
+* :mod:`repro.components` — the component library (video, filters,
+  mini-JPEG, skeletons) and registry;
+* :mod:`repro.apps` — the paper's applications and baselines;
+* :mod:`repro.bench` — the experiment harness regenerating the paper's
+  figures.
+
+Typical entry points::
+
+    from repro import AppBuilder, ThreadedRuntime, SimRuntime, expand
+    from repro.components.registry import default_ports, default_registry
+"""
+
+from repro.core import AppBuilder, expand, parse_file, parse_string, validate
+from repro.hinch import ThreadedRuntime
+from repro.spacecake import SimRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AppBuilder",
+    "expand",
+    "parse_file",
+    "parse_string",
+    "validate",
+    "ThreadedRuntime",
+    "SimRuntime",
+]

@@ -1,0 +1,43 @@
+"""The paper's three applications, their sequential baselines, and the
+reconfigurable variants (paper §4).
+
+Every builder returns an XSPCL :class:`~repro.core.ast.Spec` constructed
+through the public :class:`~repro.core.builder.AppBuilder` API — i.e. the
+applications are genuine XSPCL programs (serializable to XML via
+:func:`~repro.core.xmlio.spec_to_xml`), not hand-wired graphs.
+
+* :mod:`repro.apps.pip`  — Picture-in-Picture: uncompressed 720x576
+  video, per-field downscale(x4)+blend pipelines, 8 data-parallel slices.
+* :mod:`repro.apps.jpip` — JPEG Picture-in-Picture: MJPEG 1280x720
+  inputs, JPEG decode -> IDCT -> downscale(x16) -> blend, 45 slices
+  (Fig. 7).
+* :mod:`repro.apps.blur` — 3x3/5x5 Gaussian blur on the luminance of
+  360x288 video; horizontal/vertical phases under crossdep, 9 slices.
+* :mod:`repro.apps.sequential` — the hand-written fused baselines of
+  §4.1 (no data parallelism, fused downscale+blend / IDCT+downscale+
+  blend stages).
+
+Reconfigurable variants (PiP-12, JPiP-12, Blur-35) are the same builders
+with ``reconfigurable=True``: a timer posts an event every ``period``
+frames and a manager toggles the relevant option(s) (§4.3).
+"""
+
+from repro.apps.pip import build_pip
+from repro.apps.jpip import build_jpip
+from repro.apps.blur import build_blur
+from repro.apps.sequential import (
+    build_blur_sequential,
+    build_jpip_sequential,
+    build_pip_sequential,
+)
+from repro.apps.common import make_program
+
+__all__ = [
+    "build_pip",
+    "build_jpip",
+    "build_blur",
+    "build_pip_sequential",
+    "build_jpip_sequential",
+    "build_blur_sequential",
+    "make_program",
+]

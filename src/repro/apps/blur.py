@@ -1,0 +1,143 @@
+"""Gaussian Blur (paper §4, application 3).
+
+"A 3x3 or 5x5 Gaussian blurring kernel is applied to the luminance field
+of an 360x288 uncompressed video file.  The standard deviation of both
+kernels is set to 1. ...  The kernel is separated into an horizontal and
+vertical phase.  The two phases are run in parallel using cross
+dependencies ... 9 data-parallel slices are used."
+
+Structure::
+
+    luma source -> [ crossdep n=9:  blur_h | blur_v ] -> plane sink
+
+The reconfigurable variant (Blur-35) holds *both* kernel sizes as options
+of one manager — 3x3 initially enabled, 5x5 disabled — and one timer
+event toggles both, switching kernels every ``period`` frames.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import Spec
+from repro.core.builder import AppBuilder, ProcedureBuilder
+from repro.errors import XSPCLError
+
+__all__ = ["build_blur"]
+
+
+def _blur_phases(
+    main: ProcedureBuilder,
+    *,
+    tag: str,
+    size: int,
+    sigma: float,
+    slices: int,
+    width: int,
+    height: int,
+    in_stream: str,
+    out_stream: str,
+    sp_form: bool = False,
+) -> None:
+    """The two blur phases: crossdep (default) or SP-ized.
+
+    ``sp_form=True`` replaces the crossdep region by two consecutive
+    slice regions — the paper's "synchronization point between the
+    parblocks" transformation, used by the SP-ization ablation bench.
+    """
+    geometry = {"width": width, "height": height, "size": size, "sigma": sigma}
+    if sp_form:
+        with main.parallel("slice", n=slices):
+            main.component(
+                f"h{tag}",
+                "blur_h_field",
+                streams={"input": in_stream, "output": f"mid{tag}"},
+                params=geometry,
+            )
+        with main.parallel("slice", n=slices):
+            main.component(
+                f"v{tag}",
+                "blur_v_field",
+                streams={"input": f"mid{tag}", "output": out_stream},
+                params=geometry,
+            )
+        return
+    with main.parallel("crossdep", n=slices):
+        with main.parblock():
+            main.component(
+                f"h{tag}",
+                "blur_h_field",
+                streams={"input": in_stream, "output": f"mid{tag}"},
+                params=geometry,
+            )
+        with main.parblock():
+            main.component(
+                f"v{tag}",
+                "blur_v_field",
+                streams={"input": f"mid{tag}", "output": out_stream},
+                params=geometry,
+            )
+
+
+def build_blur(
+    size: int = 3,
+    *,
+    width: int = 360,
+    height: int = 288,
+    sigma: float = 1.0,
+    slices: int = 9,
+    frames: int | None = None,
+    reconfigurable: bool = False,
+    period: int = 12,
+    collect: bool = False,
+    sp_form: bool = False,
+) -> Spec:
+    """Build the Blur application spec.
+
+    Static: one crossdep region with the given kernel ``size`` (3 or 5).
+    ``reconfigurable=True`` builds Blur-35: both kernels as options,
+    toggled together every ``period`` frames (initial state: 3x3).
+    ``sp_form=True`` uses the SP-ized structure (ablation ABL-3).
+    """
+    if size not in (3, 5):
+        raise XSPCLError(f"kernel size must be 3 or 5, got {size}")
+    b = AppBuilder()
+    main = b.procedure("main")
+    src_params = {"width": width, "height": height, "seed": 300}
+    if frames is not None:
+        src_params["frames"] = frames
+    main.component("src", "luma_source", streams={"output": "raw"},
+                   params=src_params)
+
+    if not reconfigurable:
+        _blur_phases(
+            main, tag=str(size), size=size, sigma=sigma, slices=slices,
+            width=width, height=height, in_stream="raw", out_stream="out",
+            sp_form=sp_form,
+        )
+    else:
+        main.component(
+            "timer",
+            "timer",
+                        # Phase-align the toggle so ON/OFF exposure balances over a
+            # finite run: whole-graph draining delays each transition by
+            # roughly the pipeline depth, which would otherwise
+            # under-expose the enabled state (see EXPERIMENTS.md, FIG10).
+            params={"queue": "ui", "period": period, "event": "switch_kernel",
+                    "offset": -(period // 2)},
+        )
+        with main.manager("mgr", queue="ui") as mgr:
+            mgr.on("switch_kernel", "toggle", option="blur3")
+            mgr.on("switch_kernel", "toggle", option="blur5")
+            for ksize, enabled in ((3, True), (5, False)):
+                with main.option(f"blur{ksize}", enabled=enabled):
+                    _blur_phases(
+                        main, tag=str(ksize), size=ksize, sigma=sigma,
+                        slices=slices, width=width, height=height,
+                        in_stream="raw", out_stream="out",
+                    )
+
+    sink_params = {"width": width, "height": height}
+    if collect:
+        sink_params["collect"] = True
+    main.component("sink", "plane_sink", streams={"input": "out"},
+                   params=sink_params)
+    return b.build()

@@ -1,0 +1,28 @@
+"""Shared helpers for the application builders."""
+
+from __future__ import annotations
+
+from repro.components.registry import default_ports
+from repro.core.ast import Spec
+from repro.core.expander import expand
+from repro.core.program import Program
+
+__all__ = ["make_program", "FIELDS", "field_scale", "halve"]
+
+#: the three color fields processed concurrently (paper Fig. 7)
+FIELDS = ("y", "u", "v")
+
+
+def field_scale(field: str) -> int:
+    """Resolution divisor of a field in 4:2:0 (1 for Y, 2 for chroma)."""
+    return 1 if field == "y" else 2
+
+
+def halve(value: int, field: str) -> int:
+    """Scale a Y-plane dimension/coordinate to the given field."""
+    return value // field_scale(field)
+
+
+def make_program(spec: Spec, *, name: str) -> Program:
+    """Validate + expand an application spec against the default registry."""
+    return expand(spec, default_ports(), name=name)

@@ -1,0 +1,274 @@
+"""Picture-in-Picture (paper §4, application 1).
+
+"This application reads multiple uncompressed video files and combines
+these into a single video file.  One file contains the background video,
+which is simply copied.  The other files contain the picture-in-picture
+videos.  These videos are scaled down in size by a factor of 4 and
+blended into the background video.  Task parallelism is exploited by
+processing these components in a pipeline, and by processing the various
+color fields in the images concurrently.  Data parallelism is exploited
+by running the down scaler and blender using 8 slices.  The size of the
+image frames is 720x576."
+
+Structure produced (per color field f, for n picture-in-pictures)::
+
+    bg source ---------------------------------.
+    pip1 source -> downscale[8 slices] -> blend1[8 slices] -> ...
+    pip2 source -> downscale[8 slices] -> blend2[8 slices] -> sink
+
+The reconfigurable variant (PiP-12) wraps the *last* picture-in-picture
+in an ``<option>`` inside a ``<manager>``; a timer component posts a
+toggle event every ``period`` frames, and stream bypasses route the
+previous blend stage directly to the sink while the option is disabled.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import FIELDS, halve
+from repro.core.ast import Spec
+from repro.core.builder import AppBuilder, ProcedureBuilder
+from repro.errors import XSPCLError
+
+__all__ = ["build_pip", "pip_positions"]
+
+
+def pip_positions(
+    n_pips: int, width: int, height: int, factor: int
+) -> list[tuple[int, int]]:
+    """Non-overlapping (row, col) anchors for up to four overlays."""
+    if n_pips > 4:
+        raise XSPCLError(f"at most 4 picture-in-pictures supported, got {n_pips}")
+    ow, oh = width // factor, height // factor
+    margin = 16
+    anchors = [
+        (margin, margin),
+        (margin, width - ow - margin),
+        (height - oh - margin, margin),
+        (height - oh - margin, width - ow - margin),
+    ]
+    for row, col in anchors[:n_pips]:
+        if row < 0 or col < 0:
+            raise XSPCLError(
+                f"frame {width}x{height} too small for overlay {ow}x{oh}"
+            )
+    return anchors[:n_pips]
+
+
+def _source(main: ProcedureBuilder, name: str, prefix: str, *, width: int,
+            height: int, seed: int, frames: int | None) -> None:
+    params = {"width": width, "height": height, "seed": seed}
+    if frames is not None:
+        params["frames"] = frames
+    main.component(
+        name,
+        "video_source",
+        streams={f: f"{prefix}_{f}" for f in FIELDS},
+        params=params,
+    )
+
+
+def _scale_blend_stage(
+    b: AppBuilder,
+) -> None:
+    """Procedure: downscale + blend of one field of one pip (sliced)."""
+    proc = b.procedure(
+        "scale_blend",
+        stream_formals=["pip_in", "bg_in", "out"],
+        param_formals={
+            "width": None,       # pip field plane geometry (input of scaler)
+            "height": None,
+            "bg_width": None,    # background field plane geometry
+            "bg_height": None,
+            "factor": 4,
+            "slices": 8,
+            "pos_row": 0,
+            "pos_col": 0,
+            "overlay_width": None,   # pip field dims after downscale
+            "overlay_height": None,
+        },
+    )
+    with proc.parallel("slice", n="${slices}"):
+        proc.component(
+            "scale",
+            "downscale_field",
+            streams={"input": "${pip_in}", "output": "small"},
+            params={
+                "width": "${width}",
+                "height": "${height}",
+                "factor": "${factor}",
+            },
+        )
+    with proc.parallel("slice", n="${slices}"):
+        proc.component(
+            "blend",
+            "blend_field",
+            streams={
+                "background": "${bg_in}",
+                "overlay": "small",
+                "output": "${out}",
+            },
+            params={
+                "width": "${bg_width}",
+                "height": "${bg_height}",
+                "pos_row": "${pos_row}",
+                "pos_col": "${pos_col}",
+                "overlay_width": "${overlay_width}",
+                "overlay_height": "${overlay_height}",
+            },
+        )
+
+
+def _field_chain(
+    main: ProcedureBuilder,
+    *,
+    pips: list[int],
+    field: str,
+    width: int,
+    height: int,
+    factor: int,
+    slices: int,
+    positions: list[tuple[int, int]],
+    bg_stream: str,
+    out_stream: str,
+) -> None:
+    """Chained scale+blend stages of one field, for the given pip indices."""
+    upstream = bg_stream
+    for chain_pos, pip_index in enumerate(pips):
+        last = chain_pos == len(pips) - 1
+        out = out_stream if last else f"mid{pip_index}_{field}"
+        row, col = positions[pip_index]
+        main.call(
+            "scale_blend",
+            name=f"sb{pip_index}_{field}",
+            streams={
+                "pip_in": f"pip{pip_index}_{field}",
+                "bg_in": upstream,
+                "out": out,
+            },
+            params={
+                "width": halve(width, field),
+                "height": halve(height, field),
+                "bg_width": halve(width, field),
+                "bg_height": halve(height, field),
+                "factor": factor,
+                "slices": slices,
+                "pos_row": halve(row, field),
+                "pos_col": halve(col, field),
+                "overlay_width": halve(width, field) // factor,
+                "overlay_height": halve(height, field) // factor,
+            },
+        )
+        upstream = out
+
+
+def build_pip(
+    n_pips: int = 1,
+    *,
+    width: int = 720,
+    height: int = 576,
+    factor: int = 4,
+    slices: int = 8,
+    frames: int | None = None,
+    reconfigurable: bool = False,
+    period: int = 12,
+    collect: bool = False,
+) -> Spec:
+    """Build the PiP application spec.
+
+    ``reconfigurable=True`` produces the PiP-12 variant: the last pip is
+    optional (initially *off* — the application "start[s] with one
+    picture-in-picture"), toggled by a timer every ``period`` frames.
+    ``collect`` makes the sink retain output frames (tests only).
+    """
+    if n_pips < 1:
+        raise XSPCLError(f"need at least one picture-in-picture, got {n_pips}")
+    if reconfigurable and n_pips < 2:
+        raise XSPCLError("the reconfigurable variant toggles the 2nd pip; use n_pips>=2")
+    positions = pip_positions(n_pips, width, height, factor)
+
+    b = AppBuilder()
+    _scale_blend_stage(b)
+    main = b.procedure("main")
+
+    static_pips = list(range(n_pips - 1 if reconfigurable else n_pips))
+    optional_pip = n_pips - 1 if reconfigurable else None
+
+    # Sources: background + static pips, mutually independent.  The
+    # optional pip's source lives inside its option, so it is created and
+    # destroyed with the rest of the optional subgraph.
+    with main.parallel("task"):
+        with main.parblock():
+            _source(main, "bg", "bg", width=width, height=height, seed=100,
+                    frames=frames)
+        for i in static_pips:
+            with main.parblock():
+                _source(main, f"pip{i}", f"pip{i}", width=width, height=height,
+                        seed=200 + i, frames=frames)
+
+    def chain_kwargs(field: str) -> dict:
+        return dict(
+            field=field, width=width, height=height, factor=factor,
+            slices=slices, positions=positions,
+        )
+
+    if reconfigurable:
+        main.component(
+            "timer",
+            "timer",
+                        # Phase-align the toggle so ON/OFF exposure balances over a
+            # finite run: whole-graph draining delays each transition by
+            # roughly the pipeline depth, which would otherwise
+            # under-expose the enabled state (see EXPERIMENTS.md, FIG10).
+            params={"queue": "ui", "period": period, "event": "toggle_pip",
+                    "offset": -(period // 2)},
+        )
+
+    # Static per-field chains.  With an optional pip the static chains end
+    # in mid streams that the option either extends or bypasses.
+    with main.parallel("task"):
+        for field in FIELDS:
+            with main.parblock():
+                if static_pips:
+                    last_static = static_pips[-1]
+                    out = (
+                        f"mid{last_static}_{field}"
+                        if optional_pip is not None
+                        else f"out_{field}"
+                    )
+                    _field_chain(
+                        main, pips=static_pips, bg_stream=f"bg_{field}",
+                        out_stream=out, **chain_kwargs(field),
+                    )
+
+    if optional_pip is not None:
+        i = optional_pip
+        prev = static_pips[-1]
+        with main.manager("mgr", queue="ui") as mgr:
+            mgr.on("toggle_pip", "toggle", option="pip_opt")
+            with main.option(
+                "pip_opt",
+                enabled=False,
+                bypass=[(f"mid{prev}_{f}", f"out_{f}") for f in FIELDS],
+            ):
+                _source(main, f"pip{i}", f"pip{i}", width=width, height=height,
+                        seed=200 + i, frames=frames)
+                with main.parallel("task"):
+                    for field in FIELDS:
+                        with main.parblock():
+                            _field_chain(
+                                main, pips=[i],
+                                bg_stream=f"mid{prev}_{field}",
+                                out_stream=f"out_{field}",
+                                **chain_kwargs(field),
+                            )
+
+    sink_params = {"width": width, "height": height}
+    if collect:
+        sink_params["collect"] = True
+    main.component(
+        "sink",
+        "video_sink",
+        streams={f: f"out_{f}" for f in FIELDS},
+        params=sink_params,
+    )
+    return b.build()

@@ -1,0 +1,175 @@
+"""Hand-written sequential baselines (paper §4.1).
+
+"We compare the XSPCL versions of our applications to hand-written
+sequential versions, that do not use the Hinch runtime system.  The
+sequential versions of PiP and JPiP combine several operations, for
+example down scaling and blending, into a single function. ...  In the
+sequential Blur application, no operations are combined."
+
+These baselines are themselves XSPCL specs — but with *fused* component
+classes, no data-parallel slices, and no managers.  The benchmark harness
+runs them at 1 node, pipeline depth 1, with the runtime overhead
+constants zeroed, which models straight-line C execution on one core;
+see :mod:`repro.bench.harness`.
+"""
+
+from __future__ import annotations
+
+from repro.apps.common import FIELDS, halve
+from repro.apps.jpip import PIP_HEIGHT_DEFAULT, jpip_positions
+from repro.apps.pip import pip_positions
+from repro.core.ast import Spec
+from repro.core.builder import AppBuilder
+from repro.errors import XSPCLError
+
+__all__ = ["build_pip_sequential", "build_jpip_sequential", "build_blur_sequential"]
+
+
+def build_pip_sequential(
+    n_pips: int = 1,
+    *,
+    width: int = 720,
+    height: int = 576,
+    factor: int = 4,
+    frames: int | None = None,
+    collect: bool = False,
+) -> Spec:
+    """Fused PiP: per field, each pip is one downscale+blend function."""
+    if n_pips < 1:
+        raise XSPCLError(f"need at least one picture-in-picture, got {n_pips}")
+    positions = pip_positions(n_pips, width, height, factor)
+    b = AppBuilder()
+    main = b.procedure("main")
+    for tag, seed in [("bg", 100)] + [(f"pip{i}", 200 + i) for i in range(n_pips)]:
+        params = {"width": width, "height": height, "seed": seed}
+        if frames is not None:
+            params["frames"] = frames
+        main.component(tag, "video_source",
+                       streams={f: f"{tag}_{f}" for f in FIELDS}, params=params)
+    for field in FIELDS:
+        upstream = f"bg_{field}"
+        for i in range(n_pips):
+            out = f"out_{field}" if i == n_pips - 1 else f"mid{i}_{field}"
+            row, col = positions[i]
+            main.component(
+                f"fused{i}_{field}",
+                "downscale_blend_field",
+                streams={
+                    "background": upstream,
+                    "overlay_hi": f"pip{i}_{field}",
+                    "output": out,
+                },
+                params={
+                    "width": halve(width, field),
+                    "height": halve(height, field),
+                    "factor": factor,
+                    "pos_row": halve(row, field),
+                    "pos_col": halve(col, field),
+                },
+            )
+            upstream = out
+    sink_params = {"width": width, "height": height}
+    if collect:
+        sink_params["collect"] = True
+    main.component("sink", "video_sink",
+                   streams={f: f"out_{f}" for f in FIELDS}, params=sink_params)
+    return b.build()
+
+
+def build_jpip_sequential(
+    n_pips: int = 1,
+    *,
+    width: int = 1280,
+    height: int = 720,
+    pip_height: int = PIP_HEIGHT_DEFAULT,
+    factor: int = 16,
+    frames: int | None = None,
+    collect: bool = False,
+) -> Spec:
+    """Fused JPiP: each input decodes with a per-block decode+IDCT (the
+    classic hand-written decoder structure — coefficients never leave
+    registers/L1), and each pip's downscale+blend is one function."""
+    if n_pips < 1:
+        raise XSPCLError(f"need at least one picture-in-picture, got {n_pips}")
+    pip_width = width
+    positions = jpip_positions(n_pips, width, height, pip_width, pip_height,
+                               factor)
+    b = AppBuilder()
+    main = b.procedure("main")
+    inputs = [("bg", 400, width, height)] + [
+        (f"pip{i}", 500 + i, pip_width, pip_height) for i in range(n_pips)
+    ]
+    for tag, seed, w, h in inputs:
+        params = {"width": w, "height": h, "seed": seed}
+        if frames is not None:
+            params["frames"] = frames
+        main.component(f"{tag}_read", "mjpeg_source",
+                       streams={"output": f"{tag}_bits"}, params=params)
+        main.component(
+            f"{tag}_decode",
+            "jpeg_decode_idct",
+            streams={"input": f"{tag}_bits"}
+            | {f: f"{tag}_plane_{f}" for f in FIELDS},
+            params={"width": w, "height": h},
+        )
+    for field in FIELDS:
+        upstream = f"bg_plane_{field}"
+        for i in range(n_pips):
+            out = f"out_{field}" if i == n_pips - 1 else f"mid{i}_{field}"
+            row, col = positions[i]
+            main.component(
+                f"fused{i}_{field}",
+                "downscale_blend_field",
+                streams={
+                    "background": upstream,
+                    "overlay_hi": f"pip{i}_plane_{field}",
+                    "output": out,
+                },
+                params={
+                    "width": halve(width, field),
+                    "height": halve(height, field),
+                    "factor": factor,
+                    "pos_row": halve(row, field),
+                    "pos_col": halve(col, field),
+                },
+            )
+            upstream = out
+    sink_params = {"width": width, "height": height}
+    if collect:
+        sink_params["collect"] = True
+    main.component("sink", "video_sink",
+                   streams={f: f"out_{f}" for f in FIELDS}, params=sink_params)
+    return b.build()
+
+
+def build_blur_sequential(
+    size: int = 3,
+    *,
+    width: int = 360,
+    height: int = 288,
+    sigma: float = 1.0,
+    frames: int | None = None,
+    collect: bool = False,
+) -> Spec:
+    """Sequential Blur: same two phases, unsliced ("no operations are
+    combined")."""
+    if size not in (3, 5):
+        raise XSPCLError(f"kernel size must be 3 or 5, got {size}")
+    b = AppBuilder()
+    main = b.procedure("main")
+    src_params = {"width": width, "height": height, "seed": 300}
+    if frames is not None:
+        src_params["frames"] = frames
+    main.component("src", "luma_source", streams={"output": "raw"},
+                   params=src_params)
+    geometry = {"width": width, "height": height, "size": size, "sigma": sigma}
+    main.component("h", "blur_h_field",
+                   streams={"input": "raw", "output": "mid"}, params=geometry)
+    main.component("v", "blur_v_field",
+                   streams={"input": "mid", "output": "out"}, params=geometry)
+    sink_params = {"width": width, "height": height}
+    if collect:
+        sink_params["collect"] = True
+    main.component("sink", "plane_sink", streams={"input": "out"},
+                   params=sink_params)
+    return b.build()

@@ -1,0 +1,257 @@
+"""Experiment harness: the paper's application variants on the simulator.
+
+Experimental setup reproduced from §4:
+
+* PiP and Blur process 96 frames; JPiP processes 24 ("because of limited
+  simulation speed" — theirs and ours alike);
+* five iterations are scheduled concurrently (pipeline depth 5);
+* speedups are measured against the *fastest* sequential version;
+* at one node, synchronization operations are disabled (the cost model's
+  sync term vanishes when ``nodes == 1``);
+* sequential baselines run without the Hinch runtime: one node, depth 1,
+  all runtime overhead constants zeroed.
+
+``Harness`` memoizes simulation results, so a figure sweep never runs
+the same configuration twice.  ``frames_scale`` shrinks frame counts
+uniformly for quick runs (tests use it; the real figures use 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.apps import (
+    build_blur,
+    build_blur_sequential,
+    build_jpip,
+    build_jpip_sequential,
+    build_pip,
+    build_pip_sequential,
+    make_program,
+)
+from repro.components.registry import default_registry
+from repro.core.ast import Spec
+from repro.core.program import Program
+from repro.errors import ReproError
+from repro.spacecake import CostParams, SimResult, SimRuntime
+
+__all__ = ["VariantDef", "STATIC_VARIANTS", "RECONFIG_VARIANTS", "Harness",
+           "SEQUENTIAL_PARAMS"]
+
+#: "hand-written sequential versions, that do not use the Hinch runtime"
+SEQUENTIAL_PARAMS = CostParams(
+    job_overhead_cycles=0.0,
+    sync_overhead_cycles=0.0,
+    manager_invoke_cycles=0.0,
+    barrier_cycles=0.0,
+    reconfig_splice_cycles=0.0,
+)
+
+PIPELINE_DEPTH = 5  # "five iterations are simultaneously scheduled"
+
+
+@dataclass(frozen=True)
+class VariantDef:
+    """One benchmark application variant."""
+
+    name: str
+    frames: int
+    xspcl: Callable[[], Spec]
+    sequential: Callable[[], Spec] | None = None
+    #: names of the static variants whose average is the Fig. 10 baseline,
+    #: ordered (option-disabled variant, option-enabled variant)
+    static_baselines: tuple[str, ...] = ()
+    #: the option whose state selects between the static baselines
+    toggle_option: str = ""
+
+
+STATIC_VARIANTS: dict[str, VariantDef] = {
+    "PiP-1": VariantDef(
+        "PiP-1", 96,
+        lambda: build_pip(1),
+        lambda: build_pip_sequential(1),
+    ),
+    "PiP-2": VariantDef(
+        "PiP-2", 96,
+        lambda: build_pip(2),
+        lambda: build_pip_sequential(2),
+    ),
+    "JPiP-1": VariantDef(
+        "JPiP-1", 24,
+        lambda: build_jpip(1),
+        lambda: build_jpip_sequential(1),
+    ),
+    "JPiP-2": VariantDef(
+        "JPiP-2", 24,
+        lambda: build_jpip(2),
+        lambda: build_jpip_sequential(2),
+    ),
+    "Blur-3x3": VariantDef(
+        "Blur-3x3", 96,
+        lambda: build_blur(3),
+        lambda: build_blur_sequential(3),
+    ),
+    "Blur-5x5": VariantDef(
+        "Blur-5x5", 96,
+        lambda: build_blur(5),
+        lambda: build_blur_sequential(5),
+    ),
+}
+
+#: §4.3: "JPiP-12 and PiP-12 start with one picture-in-picture and switch
+#: a second picture-in-picture on and off every 12 frames.  Blur-35
+#: switches between the 3x3 and 5x5 kernel every 12 frames."
+RECONFIG_VARIANTS: dict[str, VariantDef] = {
+    "PiP-12": VariantDef(
+        "PiP-12", 96,
+        lambda: build_pip(2, reconfigurable=True, period=12),
+        static_baselines=("PiP-1", "PiP-2"),
+        toggle_option="pip_opt",
+    ),
+    "JPiP-12": VariantDef(
+        "JPiP-12", 24,
+        lambda: build_jpip(2, reconfigurable=True, period=12),
+        static_baselines=("JPiP-1", "JPiP-2"),
+        toggle_option="pip_opt",
+    ),
+    "Blur-35": VariantDef(
+        "Blur-35", 96,
+        lambda: build_blur(reconfigurable=True, period=12),
+        static_baselines=("Blur-3x3", "Blur-5x5"),
+        toggle_option="blur5",
+    ),
+}
+
+ALL_VARIANTS = {**STATIC_VARIANTS, **RECONFIG_VARIANTS}
+
+
+class Harness:
+    """Builds, simulates, and memoizes the benchmark variants."""
+
+    def __init__(
+        self,
+        *,
+        frames_scale: float = 1.0,
+        cost_params: CostParams | None = None,
+        registry: Mapping[str, type] | None = None,
+    ) -> None:
+        if frames_scale <= 0:
+            raise ReproError(f"frames_scale must be > 0, got {frames_scale}")
+        self.frames_scale = frames_scale
+        self.cost_params = cost_params or CostParams()
+        self.registry = registry if registry is not None else default_registry()
+        self._programs: dict[tuple[str, str], Program] = {}
+        self._results: dict[tuple, SimResult] = {}
+
+    # -- building ------------------------------------------------------------
+
+    def variant(self, name: str) -> VariantDef:
+        try:
+            return ALL_VARIANTS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown variant {name!r}; known: {sorted(ALL_VARIANTS)}"
+            ) from None
+
+    def frames(self, name: str) -> int:
+        return max(2, round(self.variant(name).frames * self.frames_scale))
+
+    def program(self, name: str, flavor: str) -> Program:
+        """flavor is 'xspcl' or 'sequential'; programs are cached."""
+        key = (name, flavor)
+        prog = self._programs.get(key)
+        if prog is None:
+            variant = self.variant(name)
+            if flavor == "xspcl":
+                spec = variant.xspcl()
+            elif flavor == "sequential":
+                if variant.sequential is None:
+                    raise ReproError(f"variant {name!r} has no sequential build")
+                spec = variant.sequential()
+            else:
+                raise ReproError(f"unknown flavor {flavor!r}")
+            prog = make_program(spec, name=f"{name}/{flavor}")
+            self._programs[key] = prog
+        return prog
+
+    # -- running ---------------------------------------------------------------
+
+    def run_xspcl(self, name: str, *, nodes: int) -> SimResult:
+        """Simulate the XSPCL version of a variant on ``nodes`` cores."""
+        key = ("xspcl", name, nodes, self.frames(name))
+        result = self._results.get(key)
+        if result is None:
+            result = SimRuntime(
+                self.program(name, "xspcl"),
+                self.registry,
+                nodes=nodes,
+                pipeline_depth=PIPELINE_DEPTH,
+                max_iterations=self.frames(name),
+                cost_params=self.cost_params,
+            ).run()
+            self._results[key] = result
+        return result
+
+    def run_sequential(self, name: str) -> SimResult:
+        """Simulate the hand-written sequential baseline (no Hinch)."""
+        key = ("seq", name, self.frames(name))
+        result = self._results.get(key)
+        if result is None:
+            result = SimRuntime(
+                self.program(name, "sequential"),
+                self.registry,
+                nodes=1,
+                pipeline_depth=1,
+                max_iterations=self.frames(name),
+                cost_params=SEQUENTIAL_PARAMS,
+            ).run()
+            self._results[key] = result
+        return result
+
+    # -- derived metrics ------------------------------------------------------------
+
+    def sequential_overhead(self, name: str) -> float:
+        """Fig. 8 metric: XSPCL@1node over sequential, minus one."""
+        seq = self.run_sequential(name).cycles
+        xspcl = self.run_xspcl(name, nodes=1).cycles
+        return xspcl / seq - 1.0
+
+    def fastest_sequential_cycles(self, name: str) -> float:
+        """§4.2: 'relative to the fastest sequential version of the
+        application.  For Blur, this is the parallel version.'"""
+        seq = self.run_sequential(name).cycles
+        par1 = self.run_xspcl(name, nodes=1).cycles
+        return min(seq, par1)
+
+    def speedup(self, name: str, nodes: int) -> float:
+        return self.fastest_sequential_cycles(name) / self.run_xspcl(
+            name, nodes=nodes
+        ).cycles
+
+    def reconfig_overhead(self, name: str, nodes: int) -> float:
+        """Fig. 10 metric: reconfigurable run time over the static baseline.
+
+        The paper divides by the plain average of the two static
+        applications, assuming a 50/50 duty cycle.  Our whole-graph drain
+        skews the realized duty cycle (enable transitions apply a few
+        frames later than disables), so we weight the static baselines by
+        the dynamic run's *measured* exposure — isolating genuine
+        reconfiguration cost (drain + splice) from duty-cycle accounting
+        (see EXPERIMENTS.md, FIG10).
+        """
+        variant = self.variant(name)
+        if not variant.static_baselines:
+            raise ReproError(f"variant {name!r} is not a reconfigurable variant")
+        result = self.run_xspcl(name, nodes=nodes)
+        frames = self.frames(name)
+        program = self.program(name, "xspcl")
+        initial = program.options[variant.toggle_option].default_enabled
+        on = result.option_exposure(
+            variant.toggle_option, initial=initial, total_iterations=frames
+        )
+        off_name, on_name = variant.static_baselines
+        c_off = self.run_xspcl(off_name, nodes=nodes).cycles
+        c_on = self.run_xspcl(on_name, nodes=nodes).cycles
+        baseline = ((frames - on) * c_off + on * c_on) / frames
+        return result.cycles / baseline - 1.0

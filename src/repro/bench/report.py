@@ -1,0 +1,109 @@
+"""ASCII rendering of benchmark results: tables, bars, line charts.
+
+Pure string formatting — the bench harness stays usable in any terminal
+and in CI logs, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "bar_chart", "line_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def render_row(items: Sequence[str]) -> str:
+        return "  ".join(item.rjust(widths[i]) for i, item in enumerate(items))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(r) for r in cells)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 50,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, scaled to the maximum value."""
+    if not items:
+        return "(no data)"
+    peak = max(v for _, v in items) or 1.0
+    label_w = max(len(k) for k, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1, round(value / peak * width)) if value > 0 else ""
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| "
+                     f"{value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: dict[str, list[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct mark; overlapping points show the mark of
+    the later series.  Axes are annotated with min/max.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(0.0, min(ys)), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1
+    if y1 == y0:
+        y1 = y0 + 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "*+ox@#%&"
+    for mark, (name, pts) in zip(marks * 3, series.items()):
+        for x, y in pts:
+            col = round((x - x0) / (x1 - x0) * (width - 1))
+            row = height - 1 - round((y - y0) / (y1 - y0) * (height - 1))
+            grid[row][col] = mark
+    lines = [title] if title else []
+    lines.append(f"{y_label} (max {y1:,.2f})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x0:,.0f} .. {x1:,.0f}")
+    legend = "  ".join(
+        f"{mark}={name}" for mark, name in zip(marks * 3, series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

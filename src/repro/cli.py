@@ -1,0 +1,300 @@
+"""Command-line interface: the XSPCL processing tool.
+
+Subcommands mirror the paper's toolchain (Fig. 1):
+
+* ``validate`` — check an XSPCL document;
+* ``expand``   — inline procedures / replicate parallel shapes and report
+  the resulting graph (optionally as DOT);
+* ``run``      — execute a specification on the threaded Hinch runtime or
+  the SpaceCAKE simulator;
+* ``predict``  — PAMELA/SPC analytic performance estimate;
+* ``codegen``  — emit the standalone Python glue module;
+* ``figures``  — regenerate the paper's result figures (FIG8/FIG9/FIG10,
+  ablations, prediction accuracy);
+* ``apps``     — write the built-in applications as XSPCL XML.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_program(path: str, name: str | None = None):
+    from repro.components.registry import default_ports
+    from repro.core import expand, parse_file
+
+    spec = parse_file(path)
+    return expand(spec, default_ports(), name=name or Path(path).stem)
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.components.registry import default_ports
+    from repro.core import parse_file, validate
+
+    spec = parse_file(args.spec)
+    registry = None if args.no_registry else default_ports()
+    validate(spec, registry=registry)
+    n_components = sum(
+        1
+        for proc in spec.procedures.values()
+        for node in _walk(proc.body)
+        if type(node).__name__ == "ComponentNode"
+    )
+    print(
+        f"{args.spec}: OK ({len(spec.procedures)} procedure(s), "
+        f"{n_components} component declaration(s))"
+    )
+    return 0
+
+
+def _walk(body):
+    from repro.core.ast import walk_body
+
+    return walk_body(body)
+
+
+def cmd_expand(args: argparse.Namespace) -> int:
+    program = _load_program(args.spec)
+    pg = program.build_graph()
+    print(f"application {program.name!r}")
+    print(f"  component instances : {len(program.components)}")
+    print(f"  graph nodes / edges : {len(pg.graph)} / {pg.graph.num_edges}")
+    print(f"  streams             : {len(pg.streams)}")
+    print(f"  managers / options  : {len(program.managers)} / {len(program.options)}")
+    if args.dot:
+        from repro.graph.dot import taskgraph_to_dot
+
+        Path(args.dot).write_text(taskgraph_to_dot(pg.graph, name=program.name))
+        print(f"  DOT written to      : {args.dot}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.components.registry import default_registry
+
+    program = _load_program(args.spec)
+    registry = default_registry()
+    if args.backend == "threaded":
+        from repro.hinch import ThreadedRuntime
+
+        runtime = ThreadedRuntime(
+            program,
+            registry,
+            nodes=args.nodes,
+            pipeline_depth=args.pipeline_depth,
+            max_iterations=args.iterations,
+        )
+        result = runtime.run()
+        print(
+            f"completed {result.completed_iterations} iterations in "
+            f"{result.elapsed_seconds:.3f}s on {args.nodes} worker thread(s); "
+            f"{result.reconfig_count} reconfiguration(s)"
+        )
+    else:
+        from repro.spacecake import SimRuntime
+
+        result = SimRuntime(
+            program,
+            registry,
+            nodes=args.nodes,
+            pipeline_depth=args.pipeline_depth,
+            max_iterations=args.iterations,
+            execute=args.execute,
+        ).run()
+        print(
+            f"simulated {result.completed_iterations} iterations on "
+            f"{args.nodes} node(s): {result.cycles / 1e6:,.1f} Mcycles, "
+            f"utilization {result.utilization:.0%}, "
+            f"{result.reconfig_count} reconfiguration(s)"
+        )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.components.registry import default_registry
+    from repro.prediction import (
+        check_deadline,
+        min_nodes_for_deadline,
+        predict_run,
+    )
+
+    program = _load_program(args.spec)
+    registry = default_registry()
+    cycles = predict_run(
+        program,
+        registry,
+        nodes=args.nodes,
+        iterations=args.iterations,
+        pipeline_depth=args.pipeline_depth,
+    )
+    print(
+        f"predicted {cycles / 1e6:,.1f} Mcycles for {args.iterations} "
+        f"iterations on {args.nodes} node(s)"
+    )
+    if args.deadline is not None:
+        report = check_deadline(
+            program, registry, nodes=args.nodes,
+            frame_budget_cycles=args.deadline,
+            pipeline_depth=args.pipeline_depth,
+        )
+        verdict = "MEETS" if report.meets_throughput else "MISSES"
+        print(
+            f"deadline {args.deadline:,.0f} cycles/frame: {verdict} "
+            f"(initiation interval {report.initiation_interval:,.0f}, "
+            f"headroom {report.headroom:+.0%}, "
+            f"latency {report.latency_frames:.1f} frame(s))"
+        )
+        if not report.meets_throughput:
+            best = min_nodes_for_deadline(
+                program, registry, frame_budget_cycles=args.deadline,
+                pipeline_depth=args.pipeline_depth,
+            )
+            if best is None:
+                print("no node count up to 9 meets this deadline")
+            else:
+                print(f"smallest node count that meets it: {best.nodes}")
+    return 0
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    from repro.core.codegen import generate_glue
+
+    program = _load_program(args.spec)
+    source = generate_glue(
+        program, module_name=Path(args.output).stem,
+        default_iterations=args.iterations,
+    )
+    Path(args.output).write_text(source)
+    print(f"glue module written to {args.output}")
+    return 0
+
+
+_FIGURES = {
+    "fig8": "fig8_sequential_overhead",
+    "fig9": "fig9_speedup",
+    "fig10": "fig10_reconfiguration_overhead",
+    "abl1": "ablation_fusion",
+    "abl2": "ablation_pipeline_depth",
+    "abl3": "ablation_spization",
+    "pred": "prediction_accuracy",
+}
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.bench import figures as figures_mod
+    from repro.bench.harness import Harness
+
+    harness = Harness(frames_scale=args.scale)
+    names = list(_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        fn = getattr(figures_mod, _FIGURES[name])
+        result = fn(harness)
+        print(result.render())
+        print()
+    return 0
+
+
+_APPS = {
+    "pip1": ("pip", dict(n_pips=1)),
+    "pip2": ("pip", dict(n_pips=2)),
+    "pip12": ("pip", dict(n_pips=2, reconfigurable=True)),
+    "jpip1": ("jpip", dict(n_pips=1)),
+    "jpip2": ("jpip", dict(n_pips=2)),
+    "jpip12": ("jpip", dict(n_pips=2, reconfigurable=True)),
+    "blur3": ("blur", dict(size=3)),
+    "blur5": ("blur", dict(size=5)),
+    "blur35": ("blur", dict(reconfigurable=True)),
+}
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    from repro import apps as apps_mod
+    from repro.core import spec_to_xml
+
+    kind, kwargs = _APPS[args.app]
+    builder = getattr(apps_mod, f"build_{kind}")
+    spec = builder(**kwargs)
+    xml = spec_to_xml(spec)
+    if args.output:
+        Path(args.output).write_text(xml)
+        print(f"{args.app} written to {args.output}")
+    else:
+        print(xml)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xspcl",
+        description="XSPCL coordination-language toolchain (ICPP'07 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="check an XSPCL document")
+    p.add_argument("spec")
+    p.add_argument("--no-registry", action="store_true",
+                   help="skip component-class checks")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("expand", help="expand and summarize an application")
+    p.add_argument("spec")
+    p.add_argument("--dot", help="write the task graph as DOT to this file")
+    p.set_defaults(fn=cmd_expand)
+
+    p = sub.add_parser("run", help="execute a specification")
+    p.add_argument("spec")
+    p.add_argument("--backend", choices=("threaded", "sim"), default="threaded")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=16)
+    p.add_argument("--pipeline-depth", type=int, default=5)
+    p.add_argument("--execute", action="store_true",
+                   help="sim backend: also run components functionally")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("predict", help="analytic performance estimate")
+    p.add_argument("spec")
+    p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=16)
+    p.add_argument("--pipeline-depth", type=int, default=5)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-frame cycle budget to verify (real-time check)")
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("codegen", help="emit a Python glue module")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--iterations", type=int, default=16)
+    p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("figure", choices=[*_FIGURES, "all"])
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="frame-count scale (1.0 = paper scale)")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("apps", help="dump a built-in application as XSPCL")
+    p.add_argument("app", choices=sorted(_APPS))
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_apps)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

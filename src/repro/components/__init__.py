@@ -1,0 +1,35 @@
+"""Component library: the building blocks of the paper's applications.
+
+Everything here is implemented from scratch on numpy:
+
+* :mod:`repro.components.video` — planar YUV 4:2:0 frames, synthetic
+  video generation, PSNR;
+* :mod:`repro.components.filters` — the pixel kernels (down scaler,
+  picture-in-picture blender, separable Gaussian blur) as pure functions;
+* :mod:`repro.components.jpeg` — a baseline-style mini-JPEG codec (8x8
+  DCT, quantization, zigzag, RLE + Huffman) so the JPiP application
+  performs real entropy decoding and IDCT work;
+* :mod:`repro.components.streaming` — the Hinch components wrapping the
+  kernels (sources, per-field filters, blenders, sinks, event timers),
+  each with a SpaceCAKE cost profile;
+* :mod:`repro.components.registry` — the default class-name registry the
+  XSPCL validator and the runtimes consume.
+"""
+
+from repro.components.registry import (
+    DEFAULT_REGISTRY,
+    default_ports,
+    default_registry,
+    register,
+)
+from repro.components.video import Frame, VideoClip, synthetic_clip
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "default_registry",
+    "default_ports",
+    "register",
+    "Frame",
+    "VideoClip",
+    "synthetic_clip",
+]

@@ -1,0 +1,69 @@
+"""A from-scratch baseline-style mini-JPEG codec.
+
+The JPiP application "has to decode the JPEG images" — entropy decoding
+followed by per-field IDCT (paper Fig. 7 shows JPEG decode -> IDCT Y/U/V
+as separate pipeline stages).  This package implements the whole codec on
+numpy, structured so the decoder splits exactly along the paper's stage
+boundary:
+
+* :func:`~repro.components.jpeg.codec.encode_frame` — blocks, forward
+  DCT, quantization, zigzag, DC prediction, RLE, canonical Huffman;
+* :func:`~repro.components.jpeg.codec.entropy_decode_frame` — bitstream
+  back to dequantized coefficient blocks (the "JPEG decode" component);
+* :func:`~repro.components.jpeg.codec.idct_plane` — coefficients back to
+  pixels (the "IDCT <field>" components), restrictable to a row range for
+  data-parallel slices.
+
+It is not wire-compatible with ITU T.81 (no markers, simplified chroma
+handling) but performs the same mathematical work with the same
+structure, which is what the reproduction needs (DESIGN.md §3).
+"""
+
+from repro.components.jpeg.dct import dct2_blocks, idct2_blocks
+from repro.components.jpeg.quant import (
+    CHROMA_QTABLE,
+    LUMA_QTABLE,
+    dequantize,
+    quantize,
+    scale_qtable,
+)
+from repro.components.jpeg.zigzag import ZIGZAG_ORDER, unzigzag_blocks, zigzag_blocks
+from repro.components.jpeg.huffman import (
+    BitReader,
+    BitWriter,
+    HuffmanCodec,
+    build_canonical_codes,
+)
+from repro.components.jpeg.codec import (
+    EncodedFrame,
+    EncodedPlane,
+    PlaneCoefficients,
+    decode_frame,
+    encode_frame,
+    entropy_decode_frame,
+    idct_plane,
+)
+
+__all__ = [
+    "dct2_blocks",
+    "idct2_blocks",
+    "LUMA_QTABLE",
+    "CHROMA_QTABLE",
+    "scale_qtable",
+    "quantize",
+    "dequantize",
+    "ZIGZAG_ORDER",
+    "zigzag_blocks",
+    "unzigzag_blocks",
+    "BitWriter",
+    "BitReader",
+    "HuffmanCodec",
+    "build_canonical_codes",
+    "EncodedFrame",
+    "EncodedPlane",
+    "PlaneCoefficients",
+    "encode_frame",
+    "decode_frame",
+    "entropy_decode_frame",
+    "idct_plane",
+]

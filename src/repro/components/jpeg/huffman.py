@@ -1,0 +1,165 @@
+"""Bit-level I/O and canonical Huffman coding.
+
+The entropy layer of the mini-JPEG codec: symbol frequencies are gathered
+per encoded plane, a canonical Huffman code is built (so only the
+``(symbol, length)`` table needs to travel in the header), and amplitude
+bits are written raw after each symbol, as in baseline JPEG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import CodecError
+
+__all__ = ["BitWriter", "BitReader", "build_canonical_codes", "HuffmanCodec"]
+
+
+class BitWriter:
+    """MSB-first bit accumulator producing bytes."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+        self.bits_written = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        if nbits < 0 or (nbits == 0 and value != 0):
+            raise CodecError(f"cannot write {value} in {nbits} bits")
+        if nbits and value >> nbits:
+            raise CodecError(f"value {value} does not fit in {nbits} bits")
+        self._acc = (self._acc << nbits) | value
+        self._nbits += nbits
+        self.bits_written += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1 if self._nbits else 0
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padded to a byte boundary) and return the bytes."""
+        out = bytearray(self._out)
+        if self._nbits:
+            out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first bit consumer over a bytes object."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read(self, nbits: int) -> int:
+        if nbits < 0:
+            raise CodecError(f"cannot read {nbits} bits")
+        end = self._pos + nbits
+        if end > len(self._data) * 8:
+            raise CodecError("bitstream exhausted")
+        value = 0
+        pos = self._pos
+        while nbits:
+            byte = self._data[pos >> 3]
+            avail = 8 - (pos & 7)
+            take = min(avail, nbits)
+            shift = avail - take
+            value = (value << take) | ((byte >> shift) & ((1 << take) - 1))
+            pos += take
+            nbits -= take
+        self._pos = pos
+        return value
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    @property
+    def bits_left(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+
+def build_canonical_codes(freqs: dict[int, int]) -> dict[int, tuple[int, int]]:
+    """Symbol -> (code, length) canonical Huffman codes from frequencies.
+
+    Deterministic: ties in the heap break on symbol value; canonical
+    assignment sorts by (length, symbol).  A single-symbol alphabet gets a
+    1-bit code.
+    """
+    symbols = [(f, s) for s, f in freqs.items() if f > 0]
+    if not symbols:
+        return {}
+    if len(symbols) == 1:
+        return {symbols[0][1]: (0, 1)}
+    # Huffman code lengths via pairwise merging; entries are
+    # (freq, tiebreak, [symbols in subtree]).
+    heap: list[tuple[int, int, list[int]]] = [
+        (f, s, [s]) for f, s in sorted(symbols)
+    ]
+    heapq.heapify(heap)
+    lengths = {s: 0 for _, s in symbols}
+    while len(heap) > 1:
+        fa, ta, syms_a = heapq.heappop(heap)
+        fb, tb, syms_b = heapq.heappop(heap)
+        for s in syms_a + syms_b:
+            lengths[s] += 1
+        heapq.heappush(heap, (fa + fb, min(ta, tb), syms_a + syms_b))
+    return _canonical_from_lengths(lengths)
+
+
+def _canonical_from_lengths(lengths: dict[int, int]) -> dict[int, tuple[int, int]]:
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for symbol in sorted(lengths, key=lambda s: (lengths[s], s)):
+        length = lengths[symbol]
+        code <<= length - prev_len
+        codes[symbol] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+@dataclass
+class HuffmanCodec:
+    """Encode/decode symbol sequences with a canonical code table."""
+
+    codes: dict[int, tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        self._decode: dict[tuple[int, int], int] = {
+            (length, code): symbol
+            for symbol, (code, length) in self.codes.items()
+        }
+        self.max_length = max(
+            (length for _, length in self.codes.values()), default=0
+        )
+
+    @classmethod
+    def from_frequencies(cls, freqs: dict[int, int]) -> "HuffmanCodec":
+        return cls(build_canonical_codes(freqs))
+
+    @classmethod
+    def from_lengths(cls, lengths: dict[int, int]) -> "HuffmanCodec":
+        return cls(_canonical_from_lengths(lengths))
+
+    def lengths(self) -> dict[int, int]:
+        """The (symbol -> code length) table; enough to reconstruct."""
+        return {s: length for s, (_, length) in self.codes.items()}
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        try:
+            code, length = self.codes[symbol]
+        except KeyError:
+            raise CodecError(f"symbol {symbol} not in Huffman table") from None
+        writer.write(code, length)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        code = 0
+        for length in range(1, self.max_length + 1):
+            code = (code << 1) | reader.read_bit()
+            symbol = self._decode.get((length, code))
+            if symbol is not None:
+                return symbol
+        raise CodecError("invalid Huffman code in bitstream")

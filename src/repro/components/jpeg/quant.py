@@ -1,0 +1,68 @@
+"""Quantization tables and (de)quantization of coefficient blocks.
+
+The tables are the familiar ITU T.81 Annex K examples; quality scaling
+follows the IJG convention (quality 50 = the base tables; higher quality
+divides, lower multiplies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["LUMA_QTABLE", "CHROMA_QTABLE", "scale_qtable", "quantize", "dequantize"]
+
+LUMA_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+CHROMA_QTABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def scale_qtable(table: np.ndarray, quality: int) -> np.ndarray:
+    """IJG-style quality scaling; quality in 1..100."""
+    if not 1 <= quality <= 100:
+        raise CodecError(f"quality must be 1..100, got {quality}")
+    if quality < 50:
+        scale = 5000 / quality
+    else:
+        scale = 200 - 2 * quality
+    scaled = np.floor((table * scale + 50) / 100)
+    return np.clip(scaled, 1, 255)
+
+
+def quantize(coeffs: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Round coefficient blocks to integer multiples of the table."""
+    if qtable.shape != (8, 8):
+        raise CodecError(f"qtable must be 8x8, got {qtable.shape}")
+    return np.rint(coeffs / qtable).astype(np.int32)
+
+
+def dequantize(quantized: np.ndarray, qtable: np.ndarray) -> np.ndarray:
+    """Expand quantized integers back to coefficient magnitudes."""
+    if qtable.shape != (8, 8):
+        raise CodecError(f"qtable must be 8x8, got {qtable.shape}")
+    return quantized.astype(np.float64) * qtable

@@ -1,0 +1,45 @@
+"""Zigzag scan order for 8x8 blocks.
+
+The zigzag permutation orders coefficients by increasing spatial
+frequency so the quantized high-frequency zeros cluster at the end of the
+scan, where run-length coding eats them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["ZIGZAG_ORDER", "INVERSE_ZIGZAG", "zigzag_blocks", "unzigzag_blocks"]
+
+
+def _build_zigzag(n: int = 8) -> np.ndarray:
+    """Flat indices (row*n+col) of the zigzag walk over an n x n block."""
+    order = []
+    for s in range(2 * n - 1):
+        coords = [(i, s - i) for i in range(max(0, s - n + 1), min(s, n - 1) + 1)]
+        if s % 2 == 0:
+            coords.reverse()  # even anti-diagonals walk bottom-left -> top-right
+        order.extend(r * n + c for r, c in coords)
+    return np.array(order, dtype=np.intp)
+
+
+ZIGZAG_ORDER = _build_zigzag()
+INVERSE_ZIGZAG = np.argsort(ZIGZAG_ORDER)
+
+
+def zigzag_blocks(blocks: np.ndarray) -> np.ndarray:
+    """(..., 8, 8) blocks -> (..., 64) zigzag-ordered vectors."""
+    if blocks.shape[-2:] != (8, 8):
+        raise CodecError(f"expected (..., 8, 8), got {blocks.shape}")
+    flat = blocks.reshape(*blocks.shape[:-2], 64)
+    return flat[..., ZIGZAG_ORDER]
+
+
+def unzigzag_blocks(vectors: np.ndarray) -> np.ndarray:
+    """(..., 64) zigzag vectors -> (..., 8, 8) blocks."""
+    if vectors.shape[-1] != 64:
+        raise CodecError(f"expected (..., 64), got {vectors.shape}")
+    flat = vectors[..., INVERSE_ZIGZAG]
+    return flat.reshape(*vectors.shape[:-1], 8, 8)

@@ -1,0 +1,84 @@
+"""The default component-class registry.
+
+The XSPCL ``class`` attribute names a component class; the registry maps
+those names to implementations.  Two views exist:
+
+* :func:`default_registry` — name -> Component subclass, consumed by the
+  runtimes and by the SpaceCAKE cost model;
+* :func:`default_ports`   — name -> :class:`PortSpec`, consumed by the
+  validator/expander (which must not depend on implementations).
+
+:func:`register` lets applications and tests add their own classes to a
+copy without mutating the shared default.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.ports import PortSpec
+from repro.errors import RegistryError
+from repro.hinch.component import Component
+from repro.components import streaming
+from repro.components.skeletons import SKELETON_REGISTRY
+
+__all__ = ["DEFAULT_REGISTRY", "default_registry", "default_ports", "register"]
+
+DEFAULT_REGISTRY: dict[str, type[Component]] = {
+    "video_source": streaming.VideoSource,
+    "luma_source": streaming.LumaSource,
+    "mjpeg_source": streaming.MjpegSource,
+    "timer": streaming.TimerSource,
+    "jpeg_decode": streaming.JpegDecode,
+    "idct_field": streaming.IdctField,
+    "downscale_field": streaming.DownscaleField,
+    "blend_field": streaming.BlendField,
+    "blur_h_field": streaming.BlurHField,
+    "blur_v_field": streaming.BlurVField,
+    "video_sink": streaming.VideoSink,
+    "plane_sink": streaming.PlaneSink,
+    "downscale_blend_field": streaming.DownscaleBlendField,
+    "jpeg_decode_idct": streaming.JpegDecodeIdct,
+    "idct_downscale_blend_field": streaming.IdctDownscaleBlendField,
+    # skeletal template components (paper §6, future work)
+    **SKELETON_REGISTRY,
+}
+
+
+def default_registry(
+    extra: Mapping[str, type[Component]] | None = None,
+) -> dict[str, type[Component]]:
+    """A fresh copy of the default registry, optionally extended."""
+    registry = dict(DEFAULT_REGISTRY)
+    if extra:
+        registry.update(extra)
+    return registry
+
+
+def default_ports(
+    registry: Mapping[str, type[Component]] | None = None,
+) -> dict[str, PortSpec]:
+    """PortSpec view of a registry (for validate()/expand())."""
+    reg = registry if registry is not None else DEFAULT_REGISTRY
+    return {name: cls.ports for name, cls in reg.items()}
+
+
+def register(
+    name: str,
+    cls: type[Component],
+    *,
+    registry: dict[str, type[Component]] | None = None,
+    overwrite: bool = False,
+) -> type[Component]:
+    """Add a component class to ``registry`` (default: the shared one).
+
+    Registering into the shared default requires ``overwrite`` for an
+    existing name, to catch accidental clobbering.
+    """
+    target = registry if registry is not None else DEFAULT_REGISTRY
+    if not overwrite and name in target:
+        raise RegistryError(f"component class {name!r} already registered")
+    if not (isinstance(cls, type) and issubclass(cls, Component)):
+        raise RegistryError(f"{cls!r} is not a Component subclass")
+    target[name] = cls
+    return cls

@@ -1,0 +1,707 @@
+"""Hinch components for the paper's applications (Fig. 7 vocabulary).
+
+Each component couples three things:
+
+* a ``ports`` declaration consumed by the XSPCL validator;
+* a ``run`` implementation on real data (numpy planes / mini-JPEG
+  bitstreams) used by the threaded runtime and ``execute=True``
+  simulations;
+* a ``cost_profile`` used by the SpaceCAKE simulator — cycles derived
+  from the work the component performs (per-pixel kernels, per-byte
+  entropy decoding) and per-port byte traffic in *model bytes* (e.g.
+  coefficients count 2 B/sample as an int16 implementation would,
+  regardless of the float64 numpy arrays Python actually holds).
+
+Data-parallel components process the horizontal slice their
+``(index, n)`` assignment selects; all copies share the whole-frame
+stream buffers (DESIGN.md §6).  Fused variants (``downscale_blend``,
+``idct_downscale_blend``) implement the hand-written sequential baselines
+of paper §4.1 — same math, no intermediate stream.
+
+Cost constants are class attributes (``CYCLES_PER_PIXEL`` etc.) so the
+ablation benchmarks can subclass/patch them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.components import filters
+from repro.components.jpeg import codec as jpeg_codec
+from repro.components.video import Frame, synthetic_frame
+from repro.core.ports import PortSpec
+from repro.core.program import ComponentInstance
+from repro.errors import ComponentError
+from repro.hinch.component import Component, JobContext
+from repro.spacecake.costmodel import JobCost, PortTraffic
+
+__all__ = [
+    "VideoSource",
+    "LumaSource",
+    "MjpegSource",
+    "JpegDecode",
+    "IdctField",
+    "DownscaleField",
+    "BlendField",
+    "BlurHField",
+    "BlurVField",
+    "VideoSink",
+    "PlaneSink",
+    "TimerSource",
+    "DownscaleBlendField",
+    "IdctDownscaleBlendField",
+    "field_dims",
+]
+
+#: model bytes per DCT coefficient sample (int16 in a real decoder)
+COEFF_BYTES = 2
+
+
+def field_dims(width: int, height: int, field: str) -> tuple[int, int]:
+    """Plane dimensions of one YUV 4:2:0 field of a width x height frame."""
+    if field == "y":
+        return width, height
+    if field in ("u", "v"):
+        return width // 2, height // 2
+    raise ComponentError(f"unknown field {field!r}")
+
+
+def _geometry(instance: ComponentInstance) -> tuple[int, int]:
+    try:
+        return int(instance.params["width"]), int(instance.params["height"])
+    except KeyError:
+        raise ComponentError(
+            f"component {instance.instance_id!r} needs width/height params "
+            "for its cost profile"
+        ) from None
+
+
+def _slice_fraction(instance: ComponentInstance) -> float:
+    if instance.slice is None:
+        return 1.0
+    return 1.0 / instance.slice[1]
+
+
+class _SlicedMixin:
+    """Helper for components operating on a horizontal slice of rows."""
+
+    slice: tuple[int, int] | None
+
+    def rows(self, height: int, *, block: int = 1) -> tuple[int, int]:
+        """This copy's row range over ``height`` rows, ``block``-aligned."""
+        if self.slice is None:
+            return 0, height
+        index, total = self.slice
+        if height % block:
+            raise ComponentError(
+                f"height {height} not divisible by block {block}"
+            )
+        units = height // block
+        lo, hi = filters.slice_rows(units, index, total)
+        return lo * block, hi * block
+
+
+# ---------------------------------------------------------------------------
+# Sources
+# ---------------------------------------------------------------------------
+
+
+class VideoSource(Component):
+    """Reads an 'uncompressed video file': synthesizes deterministic frames.
+
+    Outputs the three fields on separate ports so downstream per-field
+    components form the task-parallel color pipelines of paper Fig. 7.
+    """
+
+    ports = PortSpec(
+        outputs=("y", "u", "v"),
+        required_params=("width", "height"),
+        optional_params=("seed", "detail", "motion", "frames"),
+    )
+    READ_CYCLES_PER_BYTE = 0.4  # DMA-in from the file/capture device
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        nbytes = w * h + 2 * (w // 2) * (h // 2)
+        return JobCost(
+            compute_cycles=cls.READ_CYCLES_PER_BYTE * nbytes,
+            traffic=(
+                PortTraffic("y", w * h, True),
+                PortTraffic("u", (w // 2) * (h // 2), True),
+                PortTraffic("v", (w // 2) * (h // 2), True),
+            ),
+        )
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        super().__init__(instance)
+        self._cache: dict[int, Frame] = {}
+
+    def _frame(self, index: int) -> Frame:
+        limit = self.param("frames")
+        if limit is not None:
+            index %= int(limit)  # loop the clip, like a looping test file
+        frame = self._cache.get(index)
+        if frame is None:
+            frame = synthetic_frame(
+                index,
+                int(self.require_param("width")),
+                int(self.require_param("height")),
+                seed=int(self.param("seed", 0)),
+                detail=float(self.param("detail", 0.5)),
+                motion=int(self.param("motion", 4)),
+            )
+            self._cache[index] = frame
+        return frame
+
+    def run(self, job: JobContext) -> None:
+        frame = self._frame(job.iteration)
+        job.write("y", frame.y)
+        job.write("u", frame.u)
+        job.write("v", frame.v)
+
+
+class LumaSource(VideoSource):
+    """Single-plane source: the Blur application's luminance input."""
+
+    ports = PortSpec(
+        outputs=("output",),
+        required_params=("width", "height"),
+        optional_params=("seed", "detail", "motion", "frames"),
+    )
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        return JobCost(
+            compute_cycles=cls.READ_CYCLES_PER_BYTE * w * h,
+            traffic=(PortTraffic("output", w * h, True),),
+        )
+
+    def run(self, job: JobContext) -> None:
+        job.write("output", self._frame(job.iteration).y)
+
+
+class MjpegSource(Component):
+    """Reads an 'MJPEG file': synthesizes and encodes frames on demand."""
+
+    ports = PortSpec(
+        outputs=("output",),
+        required_params=("width", "height"),
+        optional_params=("seed", "detail", "motion", "frames", "quality", "ratio"),
+    )
+    READ_CYCLES_PER_BYTE = 0.4
+    #: assumed compression ratio (compressed/raw) for the cost profile
+    DEFAULT_RATIO = 0.12
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        raw = w * h + 2 * (w // 2) * (h // 2)
+        ratio = float(instance.params.get("ratio", cls.DEFAULT_RATIO))
+        compressed = int(raw * ratio)
+        return JobCost(
+            compute_cycles=cls.READ_CYCLES_PER_BYTE * compressed,
+            traffic=(PortTraffic("output", compressed, True),),
+        )
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        super().__init__(instance)
+        self._cache: dict[int, jpeg_codec.EncodedFrame] = {}
+
+    def run(self, job: JobContext) -> None:
+        index = job.iteration
+        limit = self.param("frames")
+        if limit is not None:
+            index %= int(limit)
+        encoded = self._cache.get(index)
+        if encoded is None:
+            frame = synthetic_frame(
+                index,
+                int(self.require_param("width")),
+                int(self.require_param("height")),
+                seed=int(self.param("seed", 0)),
+                detail=float(self.param("detail", 0.5)),
+                motion=int(self.param("motion", 4)),
+            )
+            encoded = jpeg_codec.encode_frame(
+                frame, quality=int(self.param("quality", 75))
+            )
+            self._cache[index] = encoded
+        job.write("output", encoded)
+
+
+class TimerSource(Component):
+    """Portless control component posting an event every ``period`` iters.
+
+    Stands in for the user pressing a key; ``always_execute`` makes it
+    drive reconfiguration experiments in cost-only simulations too.
+    """
+
+    ports = PortSpec(
+        required_params=("queue", "period", "event"),
+        optional_params=("offset",),
+    )
+    always_execute = True
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        return JobCost(compute_cycles=100.0)
+
+    def run(self, job: JobContext) -> None:
+        period = int(self.require_param("period"))
+        offset = int(self.param("offset", 0))
+        k = job.iteration - offset
+        if k >= 0 and (k + 1) % period == 0:
+            job.post_event(
+                str(self.require_param("queue")), str(self.require_param("event"))
+            )
+
+
+# ---------------------------------------------------------------------------
+# JPEG pipeline stages
+# ---------------------------------------------------------------------------
+
+
+class JpegDecode(Component):
+    """Entropy decode: bitstream -> dequantized coefficients per field.
+
+    Inherently serial (bit-level Huffman), hence never sliced — the paper
+    parallelizes only the IDCT and later stages.
+    """
+
+    ports = PortSpec(
+        inputs=("input",),
+        outputs=("coeffs_y", "coeffs_u", "coeffs_v"),
+        required_params=("width", "height"),
+        optional_params=("ratio",),
+    )
+    CYCLES_PER_COMPRESSED_BYTE = 55.0  # serial Huffman + RLE + dequant
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        raw = w * h + 2 * (w // 2) * (h // 2)
+        ratio = float(instance.params.get("ratio", MjpegSource.DEFAULT_RATIO))
+        compressed = int(raw * ratio)
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_COMPRESSED_BYTE * compressed,
+            traffic=(
+                PortTraffic("input", compressed, False),
+                PortTraffic("coeffs_y", w * h * COEFF_BYTES, True),
+                PortTraffic("coeffs_u", (w // 2) * (h // 2) * COEFF_BYTES, True),
+                PortTraffic("coeffs_v", (w // 2) * (h // 2) * COEFF_BYTES, True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        encoded: jpeg_codec.EncodedFrame = job.read("input")
+        coeffs = jpeg_codec.entropy_decode_frame(encoded)
+        job.write("coeffs_y", coeffs["y"])
+        job.write("coeffs_u", coeffs["u"])
+        job.write("coeffs_v", coeffs["v"])
+
+
+class IdctField(Component, _SlicedMixin):
+    """IDCT of one field; data-parallel over block-aligned row slices."""
+
+    ports = PortSpec(
+        inputs=("coeffs",),
+        outputs=("output",),
+        required_params=("width", "height"),
+    )
+    CYCLES_PER_PIXEL = 10.0  # 8x8 IDCT amortized per pixel
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        frac = _slice_fraction(instance)
+        pixels = w * h * frac
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_PIXEL * pixels,
+            traffic=(
+                PortTraffic("coeffs", int(pixels * COEFF_BYTES), False),
+                PortTraffic("output", int(pixels), True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        coeffs: jpeg_codec.PlaneCoefficients = job.read("coeffs")
+        out = job.buffer(
+            "output",
+            lambda: np.empty((coeffs.height, coeffs.width), dtype=np.uint8),
+        )
+        lo, hi = self.rows(coeffs.height, block=8)
+        jpeg_codec.idct_plane(coeffs, rows=(lo, hi), out=out)
+        job.note_written((hi - lo) * coeffs.width)
+
+
+# ---------------------------------------------------------------------------
+# Pixel filters
+# ---------------------------------------------------------------------------
+
+
+class DownscaleField(Component, _SlicedMixin):
+    """Spatial down scaler of one plane (paper Fig. 2's example)."""
+
+    ports = PortSpec(
+        inputs=("input",),
+        outputs=("output",),
+        required_params=("width", "height", "factor"),
+    )
+    CYCLES_PER_INPUT_PIXEL = 3.0  # box accumulate + divide
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)  # input plane geometry
+        factor = int(instance.params["factor"])
+        frac = _slice_fraction(instance)
+        in_px = w * h * frac
+        out_px = in_px / (factor * factor)
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_INPUT_PIXEL * in_px,
+            traffic=(
+                PortTraffic("input", int(in_px), False),
+                PortTraffic("output", int(out_px), True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        src: np.ndarray = job.read("input")
+        factor = int(self.require_param("factor"))
+        h, w = src.shape
+        oh = h // factor
+        out = job.buffer(
+            "output", lambda: np.empty((oh, w // factor), dtype=src.dtype)
+        )
+        lo, hi = self.rows(oh)
+        filters.downscale_plane(src, factor, out=out, rows=(lo, hi))
+        job.note_written((hi - lo) * (w // factor))
+
+
+class BlendField(Component, _SlicedMixin):
+    """Picture-in-picture blender for one plane.
+
+    Supports the paper's example reconfiguration: "a picture-in-picture
+    blender can support changing the position of the blended picture"
+    (request ``pos=row,col``).
+    """
+
+    ports = PortSpec(
+        inputs=("background", "overlay"),
+        outputs=("output",),
+        required_params=("width", "height"),
+        optional_params=("pos_row", "pos_col", "alpha", "overlay_width",
+                         "overlay_height"),
+    )
+    CYCLES_PER_PIXEL = 1.5  # copy + conditional overlay write
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)  # background/output geometry
+        frac = _slice_fraction(instance)
+        bg_px = w * h * frac
+        ow = int(instance.params.get("overlay_width", w // 4))
+        oh = int(instance.params.get("overlay_height", h // 4))
+        ov_px = ow * oh * frac
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_PIXEL * bg_px,
+            traffic=(
+                PortTraffic("background", int(bg_px), False),
+                PortTraffic("overlay", int(ov_px), False),
+                PortTraffic("output", int(bg_px), True),
+            ),
+        )
+
+    def _position(self) -> tuple[int, int]:
+        pos = self.param("pos")
+        if pos is not None:  # set via reconfiguration request "pos=r,c"
+            row_s, _, col_s = str(pos).partition(",")
+            return int(row_s), int(col_s)
+        return int(self.param("pos_row", 0)), int(self.param("pos_col", 0))
+
+    def run(self, job: JobContext) -> None:
+        background: np.ndarray = job.read("background")
+        overlay: np.ndarray = job.read("overlay")
+        out = job.buffer("output", lambda: np.empty_like(background))
+        lo, hi = self.rows(background.shape[0])
+        filters.blend_plane(
+            background,
+            overlay,
+            self._position(),
+            out=out,
+            rows=(lo, hi),
+            alpha=float(self.param("alpha", 1.0)),
+        )
+        job.note_written((hi - lo) * background.shape[1])
+
+
+class _BlurBase(Component, _SlicedMixin):
+    ports = PortSpec(
+        inputs=("input",),
+        outputs=("output",),
+        required_params=("width", "height", "size"),
+        optional_params=("sigma",),
+    )
+    CYCLES_PER_TAP_PIXEL = 2.0  # multiply-accumulate per kernel tap
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        size = int(instance.params["size"])
+        frac = _slice_fraction(instance)
+        pixels = w * h * frac
+        halo_rows = size // 2
+        halo_bytes = 2 * halo_rows * w if instance.slice else 0
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_TAP_PIXEL * size * pixels,
+            traffic=(
+                PortTraffic("input", int(pixels + halo_bytes), False),
+                PortTraffic("output", int(pixels), True),
+            ),
+        )
+
+    def _kernel(self) -> np.ndarray:
+        return filters.gaussian_kernel_1d(
+            int(self.require_param("size")), float(self.param("sigma", 1.0))
+        )
+
+
+class BlurHField(_BlurBase):
+    """Horizontal phase of the separable Gaussian blur."""
+
+    def run(self, job: JobContext) -> None:
+        src: np.ndarray = job.read("input")
+        out = job.buffer("output", lambda: np.empty_like(src))
+        lo, hi = self.rows(src.shape[0])
+        filters.blur_plane_horizontal(src, self._kernel(), out=out, rows=(lo, hi))
+        job.note_written((hi - lo) * src.shape[1])
+
+
+class BlurVField(_BlurBase):
+    """Vertical phase: reads a halo around its slice, hence crossdep."""
+
+    def run(self, job: JobContext) -> None:
+        src: np.ndarray = job.read("input")
+        out = job.buffer("output", lambda: np.empty_like(src))
+        lo, hi = self.rows(src.shape[0])
+        filters.blur_plane_vertical(src, self._kernel(), out=out, rows=(lo, hi))
+        job.note_written((hi - lo) * src.shape[1])
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+
+class VideoSink(Component):
+    """Writes the output video 'file'; optionally retains frames."""
+
+    ports = PortSpec(
+        inputs=("y", "u", "v"),
+        required_params=("width", "height"),
+        optional_params=("collect",),
+    )
+    WRITE_CYCLES_PER_BYTE = 0.4
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        return JobCost(
+            compute_cycles=cls.WRITE_CYCLES_PER_BYTE
+            * (w * h + 2 * (w // 2) * (h // 2)),
+            traffic=(
+                PortTraffic("y", w * h, False),
+                PortTraffic("u", (w // 2) * (h // 2), False),
+                PortTraffic("v", (w // 2) * (h // 2), False),
+            ),
+        )
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        super().__init__(instance)
+        self.frames: list[tuple[int, Frame]] = []
+        self.frames_written = 0
+
+    def run(self, job: JobContext) -> None:
+        frame = Frame(
+            np.ascontiguousarray(job.read("y")),
+            np.ascontiguousarray(job.read("u")),
+            np.ascontiguousarray(job.read("v")),
+        )
+        self.frames_written += 1
+        if self.param("collect"):
+            self.frames.append((job.iteration, frame))
+
+    def ordered_frames(self) -> list[Frame]:
+        return [f for _, f in sorted(self.frames, key=lambda kv: kv[0])]
+
+
+class PlaneSink(Component):
+    """Single-plane sink (the Blur application's output)."""
+
+    ports = PortSpec(
+        inputs=("input",),
+        required_params=("width", "height"),
+        optional_params=("collect",),
+    )
+    WRITE_CYCLES_PER_BYTE = 0.4
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        return JobCost(
+            compute_cycles=cls.WRITE_CYCLES_PER_BYTE * w * h,
+            traffic=(PortTraffic("input", w * h, False),),
+        )
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        super().__init__(instance)
+        self.planes: list[tuple[int, np.ndarray]] = []
+        self.frames_written = 0
+
+    def run(self, job: JobContext) -> None:
+        plane = job.read("input")
+        self.frames_written += 1
+        if self.param("collect"):
+            self.planes.append((job.iteration, plane.copy()))
+
+    def ordered_planes(self) -> list[np.ndarray]:
+        return [p for _, p in sorted(self.planes, key=lambda kv: kv[0])]
+
+
+# ---------------------------------------------------------------------------
+# Fused components — the hand-written sequential baselines (paper §4.1)
+# ---------------------------------------------------------------------------
+
+
+class DownscaleBlendField(Component):
+    """Down scale + blend in one pass: no intermediate stream.
+
+    The PiP sequential baseline: "the sequential versions ... combine
+    several operations, for example down scaling and blending, into a
+    single function."
+    """
+
+    ports = PortSpec(
+        inputs=("background", "overlay_hi"),
+        outputs=("output",),
+        required_params=("width", "height", "factor"),
+        optional_params=("pos_row", "pos_col", "alpha"),
+    )
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)  # background geometry
+        factor = int(instance.params["factor"])
+        # overlay_hi is a full frame of the same geometry, scaled by factor
+        in_px = w * h  # overlay input pixels
+        blend_px = w * h
+        compute = (
+            DownscaleField.CYCLES_PER_INPUT_PIXEL * in_px
+            + BlendField.CYCLES_PER_PIXEL * blend_px
+        )
+        return JobCost(
+            compute_cycles=compute,
+            traffic=(
+                PortTraffic("background", w * h, False),
+                PortTraffic("overlay_hi", in_px, False),
+                PortTraffic("output", w * h, True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        background: np.ndarray = job.read("background")
+        overlay_hi: np.ndarray = job.read("overlay_hi")
+        factor = int(self.require_param("factor"))
+        small = filters.downscale_plane(overlay_hi, factor)  # local scratch
+        position = (int(self.param("pos_row", 0)), int(self.param("pos_col", 0)))
+        out = filters.blend_plane(
+            background, small, position, alpha=float(self.param("alpha", 1.0))
+        )
+        job.write("output", out)
+
+
+class JpegDecodeIdct(Component):
+    """Entropy decode + IDCT in one pass (sequential JPiP baseline).
+
+    A hand-written sequential JPEG decoder IDCTs each block right after
+    entropy-decoding it — coefficients live in registers/L1 and are never
+    materialized as a stream, unlike the split decode -> IDCT pipeline.
+    """
+
+    ports = PortSpec(
+        inputs=("input",),
+        outputs=("y", "u", "v"),
+        required_params=("width", "height"),
+        optional_params=("ratio",),
+    )
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)
+        raw = w * h + 2 * (w // 2) * (h // 2)
+        ratio = float(instance.params.get("ratio", MjpegSource.DEFAULT_RATIO))
+        compressed = int(raw * ratio)
+        compute = (
+            JpegDecode.CYCLES_PER_COMPRESSED_BYTE * compressed
+            + IdctField.CYCLES_PER_PIXEL * raw
+        )
+        return JobCost(
+            compute_cycles=compute,
+            traffic=(
+                PortTraffic("input", compressed, False),
+                PortTraffic("y", w * h, True),
+                PortTraffic("u", (w // 2) * (h // 2), True),
+                PortTraffic("v", (w // 2) * (h // 2), True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        encoded: jpeg_codec.EncodedFrame = job.read("input")
+        frame = jpeg_codec.decode_frame(encoded)
+        job.write("y", frame.y)
+        job.write("u", frame.u)
+        job.write("v", frame.v)
+
+
+class IdctDownscaleBlendField(Component):
+    """IDCT + down scale + blend in one pass (JPiP sequential baseline)."""
+
+    ports = PortSpec(
+        inputs=("background", "coeffs"),
+        outputs=("output",),
+        required_params=("width", "height", "factor", "src_width", "src_height"),
+        optional_params=("pos_row", "pos_col", "alpha"),
+    )
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w, h = _geometry(instance)  # background/output geometry
+        sw = int(instance.params["src_width"])
+        sh = int(instance.params["src_height"])
+        src_px = sw * sh
+        compute = (
+            IdctField.CYCLES_PER_PIXEL * src_px
+            + DownscaleField.CYCLES_PER_INPUT_PIXEL * src_px
+            + BlendField.CYCLES_PER_PIXEL * w * h
+        )
+        return JobCost(
+            compute_cycles=compute,
+            traffic=(
+                PortTraffic("background", w * h, False),
+                PortTraffic("coeffs", src_px * COEFF_BYTES, False),
+                PortTraffic("output", w * h, True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        background: np.ndarray = job.read("background")
+        coeffs: jpeg_codec.PlaneCoefficients = job.read("coeffs")
+        plane = jpeg_codec.idct_plane(coeffs)  # local scratch, stays in cache
+        factor = int(self.require_param("factor"))
+        small = filters.downscale_plane(plane, factor)
+        position = (int(self.param("pos_row", 0)), int(self.param("pos_col", 0)))
+        out = filters.blend_plane(
+            background, small, position, alpha=float(self.param("alpha", 1.0))
+        )
+        job.write("output", out)

@@ -1,0 +1,56 @@
+"""XSPCL — the coordination language (the paper's primary contribution).
+
+Pipeline::
+
+    XML text --parser--> Spec (AST) --validator--> checked Spec
+             --expander--> Program (IR + component instances)
+             --Program.build_graph(...)--> TaskGraph per option configuration
+
+The :class:`~repro.core.builder.AppBuilder` offers the same expressive
+power as the XML syntax through a fluent Python API (standing in for the
+graphical front-end the paper leaves as future work), and
+:mod:`repro.core.xmlio` serializes an AST back to XSPCL so the two entry
+points round-trip.
+"""
+
+from repro.core.ast import (
+    CallNode,
+    ComponentNode,
+    EventHandler,
+    ManagerNode,
+    OptionNode,
+    ParallelNode,
+    ParamFormal,
+    Procedure,
+    Spec,
+    StreamFormal,
+)
+from repro.core.parser import parse_file, parse_string
+from repro.core.validator import validate
+from repro.core.expander import expand
+from repro.core.program import ComponentInstance, ManagerInfo, OptionInfo, Program
+from repro.core.builder import AppBuilder
+from repro.core.xmlio import spec_to_xml
+
+__all__ = [
+    "Spec",
+    "Procedure",
+    "ComponentNode",
+    "CallNode",
+    "ParallelNode",
+    "ManagerNode",
+    "OptionNode",
+    "EventHandler",
+    "StreamFormal",
+    "ParamFormal",
+    "parse_file",
+    "parse_string",
+    "validate",
+    "expand",
+    "Program",
+    "ComponentInstance",
+    "ManagerInfo",
+    "OptionInfo",
+    "AppBuilder",
+    "spec_to_xml",
+]

@@ -1,0 +1,224 @@
+"""Abstract syntax tree of an XSPCL specification.
+
+The node set follows the paper's Section 3:
+
+* ``<component>`` — leaf unit of functionality with *stream parameters*
+  (port -> stream bindings) and *initialization parameters* (Fig. 2);
+* ``<procedure>`` / ``<call>`` — procedural abstraction (Fig. 3);
+* ``<parallel shape="task|slice|crossdep">`` with ``<parblock>`` children
+  (Fig. 4/5);
+* ``<manager>`` + ``<option>`` + ``<on>`` event handlers (Fig. 6);
+* implicit series composition of siblings inside any body.
+
+Two reproduction extensions are documented in DESIGN.md:
+
+* ``<option>`` may carry ``<bypass from="X" to="Y"/>`` children: while the
+  option is *disabled*, writers of stream ``X`` write directly to ``Y``.
+  The paper needs this to reconnect e.g. the first blender to the output
+  when the second picture-in-picture is switched off, but does not spell
+  out the mechanism; bypass declarations make it explicit and checkable.
+* values support ``${name}`` interpolation against procedure formals.
+
+AST nodes are plain frozen dataclasses; they carry no behaviour beyond
+convenience accessors, so the parser, builder, and xmlio modules stay in
+lock-step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "Value",
+    "StreamFormal",
+    "ParamFormal",
+    "ComponentNode",
+    "CallNode",
+    "ParallelNode",
+    "EventHandler",
+    "Bypass",
+    "OptionNode",
+    "ManagerNode",
+    "BodyNode",
+    "Procedure",
+    "Spec",
+    "PARALLEL_SHAPES",
+    "HANDLER_ACTIONS",
+]
+
+#: Scalar initialization-parameter value after parsing.  Strings may still
+#: contain ``${name}`` placeholders that the expander substitutes.
+Value = Union[int, float, bool, str]
+
+PARALLEL_SHAPES = ("task", "slice", "crossdep")
+HANDLER_ACTIONS = ("enable", "disable", "toggle", "forward", "reconfigure")
+
+
+@dataclass(frozen=True)
+class StreamFormal:
+    """A formal stream parameter of a procedure."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ParamFormal:
+    """A formal initialization parameter of a procedure.
+
+    ``default`` of ``None`` means the caller must supply the argument.
+    """
+
+    name: str
+    default: Value | None = None
+
+
+@dataclass(frozen=True)
+class ComponentNode:
+    """``<component name=... class=...>`` — one component instantiation.
+
+    ``streams`` maps the component class's *port name* to a stream
+    expression (a stream name, or ``${formal}``).  Direction (input vs
+    output port) is a property of the component class, looked up in the
+    component registry; the coordination spec itself stays direction
+    agnostic, which is what lets a component "not know to which other
+    component(s) it is connected".
+    """
+
+    name: str
+    class_name: str
+    streams: dict[str, str] = field(default_factory=dict)
+    params: dict[str, Value] = field(default_factory=dict)
+    #: reconfiguration request delivered once, upon creation (paper §3.1)
+    reconfigure: str | None = None
+
+
+@dataclass(frozen=True)
+class CallNode:
+    """``<call procedure=... name=...>`` — instantiate a procedure."""
+
+    procedure: str
+    name: str
+    streams: dict[str, str] = field(default_factory=dict)
+    params: dict[str, Value] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ParallelNode:
+    """``<parallel shape=...>`` with one or more parblocks.
+
+    * ``task``: each parblock is an independent branch.
+    * ``slice``: exactly one parblock, replicated ``n`` times; each copy
+      is told its (index, n) through the reconfiguration interface.
+    * ``crossdep``: several parblocks, each replicated ``n`` times; copy
+      *i* of parblock *j+1* depends on copies *i-1, i, i+1* of parblock
+      *j* (paper Fig. 5) — deliberately non-SP.
+    """
+
+    shape: str
+    parblocks: tuple[tuple["BodyNode", ...], ...]
+    n: Value | None = None  # replication count for slice/crossdep
+
+
+@dataclass(frozen=True)
+class EventHandler:
+    """``<on event=... action=.../>`` inside a manager.
+
+    ``action`` is one of :data:`HANDLER_ACTIONS`; ``option`` names the
+    option for enable/disable/toggle, ``target`` the destination queue for
+    forward, ``request`` the payload for reconfigure (sent to every
+    component in the managed subgraph).
+    """
+
+    event: str
+    action: str
+    option: str | None = None
+    target: str | None = None
+    request: str | None = None
+
+
+@dataclass(frozen=True)
+class Bypass:
+    """``<bypass from=... to=.../>``: while the enclosing option is
+    disabled, writers of stream ``src`` write to ``dst`` instead."""
+
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class OptionNode:
+    """``<option name=...>`` — a subgraph that can be switched at runtime."""
+
+    name: str
+    body: tuple["BodyNode", ...]
+    enabled: bool = True  # initial state
+    bypasses: tuple[Bypass, ...] = ()
+
+
+@dataclass(frozen=True)
+class ManagerNode:
+    """``<manager name=... queue=...>`` — reconfiguration container.
+
+    The manager is invoked at the entry and exit of its subgraph every
+    iteration; it polls ``queue`` and applies its handlers.  All options
+    in its body belong to it.
+    """
+
+    name: str
+    queue: str
+    handlers: tuple[EventHandler, ...]
+    body: tuple["BodyNode", ...]
+
+
+BodyNode = Union[ComponentNode, CallNode, ParallelNode, ManagerNode, OptionNode]
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named, reusable subgraph; ``main`` is the application root."""
+
+    name: str
+    body: tuple[BodyNode, ...]
+    stream_formals: tuple[StreamFormal, ...] = ()
+    param_formals: tuple[ParamFormal, ...] = ()
+
+    def formal_stream_names(self) -> set[str]:
+        return {f.name for f in self.stream_formals}
+
+    def formal_param_names(self) -> set[str]:
+        return {f.name for f in self.param_formals}
+
+
+@dataclass(frozen=True)
+class Spec:
+    """A whole XSPCL document: a set of procedures, one named ``main``."""
+
+    procedures: dict[str, Procedure]
+    version: str = "1.0"
+
+    @property
+    def main(self) -> Procedure:
+        return self.procedures["main"]
+
+    def __post_init__(self) -> None:
+        # Mapping keys must agree with procedure names; cheap invariant
+        # that catches hand-built Spec objects assembled incorrectly.
+        for key, proc in self.procedures.items():
+            if key != proc.name:
+                raise ValueError(
+                    f"procedure registered under {key!r} but named {proc.name!r}"
+                )
+
+
+def walk_body(body: tuple[BodyNode, ...]):
+    """Yield every BodyNode in ``body`` recursively (pre-order)."""
+    for node in body:
+        yield node
+        if isinstance(node, ParallelNode):
+            for pb in node.parblocks:
+                yield from walk_body(pb)
+        elif isinstance(node, ManagerNode):
+            yield from walk_body(node.body)
+        elif isinstance(node, OptionNode):
+            yield from walk_body(node.body)

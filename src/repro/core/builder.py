@@ -1,0 +1,265 @@
+"""Fluent Python API for constructing XSPCL specifications.
+
+The paper envisions a graphical front-end emitting XSPCL; this builder is
+the programmatic stand-in.  It produces the same :class:`Spec` AST the XML
+parser does, so everything downstream (validation, expansion, codegen,
+XML serialization) is shared::
+
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "video_input", streams={"output": "raw"},
+                   params={"width": 720, "height": 576})
+    with main.parallel("slice", n=8):
+        main.component("scale", "downscale_field",
+                       streams={"input": "raw", "output": "small"},
+                       params={"factor": 4, "field": "y"})
+    main.component("sink", "video_output", streams={"input": "small"})
+    spec = b.build()          # -> Spec, ready for validate()/expand()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.ast import (
+    BodyNode,
+    Bypass,
+    CallNode,
+    ComponentNode,
+    EventHandler,
+    ManagerNode,
+    OptionNode,
+    ParallelNode,
+    ParamFormal,
+    Procedure,
+    Spec,
+    StreamFormal,
+    Value,
+)
+from repro.errors import XSPCLError
+
+__all__ = ["AppBuilder", "ProcedureBuilder", "ManagerHandle"]
+
+
+class ManagerHandle:
+    """Returned by :meth:`ProcedureBuilder.manager`; declares handlers."""
+
+    def __init__(self) -> None:
+        self.handlers: list[EventHandler] = []
+
+    def on(
+        self,
+        event: str,
+        action: str,
+        *,
+        option: str | None = None,
+        target: str | None = None,
+        request: str | None = None,
+    ) -> "ManagerHandle":
+        """Add an event handler; chainable."""
+        self.handlers.append(
+            EventHandler(
+                event=event, action=action, option=option, target=target,
+                request=request,
+            )
+        )
+        return self
+
+
+class ProcedureBuilder:
+    """Accumulates one procedure's body via nested context managers."""
+
+    def __init__(
+        self,
+        name: str,
+        stream_formals: Sequence[str] = (),
+        param_formals: Mapping[str, Value | None] | Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self._stream_formals = tuple(StreamFormal(s) for s in stream_formals)
+        if isinstance(param_formals, Mapping):
+            self._param_formals = tuple(
+                ParamFormal(k, default=v) for k, v in param_formals.items()
+            )
+        else:
+            self._param_formals = tuple(ParamFormal(k) for k in param_formals)
+        self._stack: list[list[BodyNode]] = [[]]
+
+    # -- leaf statements ----------------------------------------------------
+
+    def component(
+        self,
+        name: str,
+        class_name: str,
+        *,
+        streams: Mapping[str, str] | None = None,
+        params: Mapping[str, Value] | None = None,
+        reconfigure: str | None = None,
+    ) -> "ProcedureBuilder":
+        self._stack[-1].append(
+            ComponentNode(
+                name=name,
+                class_name=class_name,
+                streams=dict(streams or {}),
+                params=dict(params or {}),
+                reconfigure=reconfigure,
+            )
+        )
+        return self
+
+    def call(
+        self,
+        procedure: str,
+        *,
+        name: str | None = None,
+        streams: Mapping[str, str] | None = None,
+        params: Mapping[str, Value] | None = None,
+    ) -> "ProcedureBuilder":
+        self._stack[-1].append(
+            CallNode(
+                procedure=procedure,
+                name=name or procedure,
+                streams=dict(streams or {}),
+                params=dict(params or {}),
+            )
+        )
+        return self
+
+    # -- structured statements ------------------------------------------------
+
+    @contextmanager
+    def parallel(
+        self, shape: str = "task", *, n: Value | None = None
+    ) -> Iterator[None]:
+        """Open a parallel region.
+
+        For ``shape="slice"`` the single parblock is implicit: statements
+        inside the ``with`` block form it.  For ``task``/``crossdep`` use
+        nested :meth:`parblock` blocks.
+        """
+        marker = len(self._stack)
+        if shape == "slice":
+            self._stack.append([])  # the implicit sole parblock
+            yield
+            pb = self._stack.pop()
+            if len(self._stack) != marker:
+                raise XSPCLError("unbalanced builder nesting in parallel(slice)")
+            self._stack[-1].append(
+                ParallelNode(shape="slice", parblocks=(tuple(pb),), n=n)
+            )
+        else:
+            collector: list[tuple[BodyNode, ...]] = []
+            self._stack.append(_ParblockCollector(collector))  # type: ignore[arg-type]
+            yield
+            top = self._stack.pop()
+            if not isinstance(top, _ParblockCollector):
+                raise XSPCLError("unbalanced builder nesting in parallel()")
+            self._stack[-1].append(
+                ParallelNode(shape=shape, parblocks=tuple(collector), n=n)
+            )
+
+    @contextmanager
+    def parblock(self) -> Iterator[None]:
+        top = self._stack[-1]
+        if not isinstance(top, _ParblockCollector):
+            raise XSPCLError("parblock() is only valid directly inside parallel()")
+        self._stack.append([])
+        yield
+        pb = self._stack.pop()
+        top.collector.append(tuple(pb))
+
+    @contextmanager
+    def manager(self, name: str, *, queue: str) -> Iterator[ManagerHandle]:
+        handle = ManagerHandle()
+        self._stack.append([])
+        yield handle
+        body = self._stack.pop()
+        self._stack[-1].append(
+            ManagerNode(
+                name=name,
+                queue=queue,
+                handlers=tuple(handle.handlers),
+                body=tuple(body),
+            )
+        )
+
+    @contextmanager
+    def option(
+        self,
+        name: str,
+        *,
+        enabled: bool = True,
+        bypass: Sequence[tuple[str, str]] = (),
+    ) -> Iterator[None]:
+        self._stack.append([])
+        yield
+        body = self._stack.pop()
+        self._stack[-1].append(
+            OptionNode(
+                name=name,
+                body=tuple(body),
+                enabled=enabled,
+                bypasses=tuple(Bypass(src, dst) for src, dst in bypass),
+            )
+        )
+
+    # -- finish -----------------------------------------------------------------
+
+    def _build(self) -> Procedure:
+        if len(self._stack) != 1:
+            raise XSPCLError(
+                f"procedure {self.name!r} has unbalanced builder nesting "
+                f"({len(self._stack) - 1} unclosed block(s))"
+            )
+        return Procedure(
+            name=self.name,
+            body=tuple(self._stack[0]),
+            stream_formals=self._stream_formals,
+            param_formals=self._param_formals,
+        )
+
+
+class _ParblockCollector(list):
+    """Stack frame marking a task/crossdep parallel awaiting parblocks.
+
+    It is a list subclass so accidental statement appends inside
+    ``parallel()`` (without ``parblock()``) can be detected and reported.
+    """
+
+    def __init__(self, collector: list[tuple[BodyNode, ...]]) -> None:
+        super().__init__()
+        self.collector = collector
+
+    def append(self, item) -> None:  # type: ignore[override]
+        raise XSPCLError(
+            "statements inside parallel(task/crossdep) must be wrapped in "
+            "parblock()"
+        )
+
+
+class AppBuilder:
+    """Top-level builder: a set of procedures forming one Spec."""
+
+    def __init__(self, version: str = "1.0") -> None:
+        self.version = version
+        self._procs: dict[str, ProcedureBuilder] = {}
+
+    def procedure(
+        self,
+        name: str,
+        *,
+        stream_formals: Sequence[str] = (),
+        param_formals: Mapping[str, Value | None] | Sequence[str] = (),
+    ) -> ProcedureBuilder:
+        if name in self._procs:
+            raise XSPCLError(f"duplicate procedure {name!r}")
+        builder = ProcedureBuilder(name, stream_formals, param_formals)
+        self._procs[name] = builder
+        return builder
+
+    def build(self) -> Spec:
+        return Spec(
+            procedures={name: b._build() for name, b in self._procs.items()},
+            version=self.version,
+        )

@@ -1,0 +1,68 @@
+"""Port declarations for component classes.
+
+A component has "a fixed number of i/o ports to which streams can be
+connected" (paper §2.3a).  The XSPCL text binds *port names* to *stream
+names* without stating direction — direction is a property of the
+component class, declared here and registered in the component registry.
+The validator and the program builder consult these declarations to
+orient stream edges and to reject malformed bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ComponentError
+
+__all__ = ["PortSpec"]
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """Declared ports (and optional parameter schema) of a component class.
+
+    ``required_params`` lists init-parameter names that must be supplied;
+    ``optional_params`` those that may be.  An empty ``optional_params``
+    with ``open_params=True`` accepts anything (useful for generic
+    wrapper components).
+    """
+
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    required_params: tuple[str, ...] = ()
+    optional_params: tuple[str, ...] = ()
+    open_params: bool = False
+
+    def __post_init__(self) -> None:
+        overlap = set(self.inputs) & set(self.outputs)
+        if overlap:
+            raise ComponentError(
+                f"ports cannot be both input and output: {sorted(overlap)}"
+            )
+
+    @property
+    def all_ports(self) -> tuple[str, ...]:
+        return self.inputs + self.outputs
+
+    def is_input(self, port: str) -> bool:
+        return port in self.inputs
+
+    def is_output(self, port: str) -> bool:
+        return port in self.outputs
+
+    def check_params(self, class_name: str, names: set[str]) -> None:
+        """Raise :class:`ComponentError` if ``names`` violates the schema."""
+        missing = set(self.required_params) - names
+        if missing:
+            raise ComponentError(
+                f"component class {class_name!r} missing required params "
+                f"{sorted(missing)}"
+            )
+        if not self.open_params:
+            allowed = set(self.required_params) | set(self.optional_params)
+            unknown = names - allowed
+            if unknown:
+                raise ComponentError(
+                    f"component class {class_name!r} got unknown params "
+                    f"{sorted(unknown)}"
+                )

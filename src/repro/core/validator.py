@@ -1,0 +1,306 @@
+"""Semantic validation of an XSPCL :class:`~repro.core.ast.Spec`.
+
+Checks performed (each with a test in ``tests/core/test_validator.py``):
+
+1. a procedure named ``main`` exists and takes no formals;
+2. every ``<call>`` names an existing procedure;
+3. the call graph is acyclic — "recursion is currently not supported as
+   there is no way to end the recursion" (paper §3.2);
+4. call arguments match the callee's formals exactly (streams) or up to
+   defaults (params), with no unknown names;
+5. instance names (components, calls, managers) are unique inside each
+   procedure;
+6. ``${name}`` placeholders in stream refs / param values / parallel ``n``
+   resolve to a formal of the enclosing procedure;
+7. every ``<option>`` lies inside some ``<manager>``'s body; option names
+   are unique per manager; each enable/disable/toggle handler references
+   an option of its own manager;
+8. slice/crossdep ``n`` is a positive integer once resolved (checked here
+   when literal, at expansion when parametric);
+9. with a registry: component classes exist, stream bindings name exactly
+   the class's declared ports, init params satisfy the class schema.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.core.ast import (
+    BodyNode,
+    CallNode,
+    ComponentNode,
+    ManagerNode,
+    OptionNode,
+    ParallelNode,
+    Procedure,
+    Spec,
+)
+from repro.core.ports import PortSpec
+from repro.errors import ComponentError, ValidationError
+
+__all__ = ["validate"]
+
+_PLACEHOLDER = re.compile(r"\$\{([^}]*)\}")
+
+
+def _placeholders(value: object) -> list[str]:
+    if isinstance(value, str):
+        return _PLACEHOLDER.findall(value)
+    return []
+
+
+def _check_placeholders(proc: Procedure, value: object, what: str) -> None:
+    formals = proc.formal_param_names() | proc.formal_stream_names()
+    for name in _placeholders(value):
+        if not name:
+            raise ValidationError(
+                f"{what} in procedure {proc.name!r} has an empty ${{}} placeholder"
+            )
+        if name not in formals:
+            raise ValidationError(
+                f"{what} in procedure {proc.name!r} references unknown formal "
+                f"${{{name}}}"
+            )
+
+
+def _iter_calls(body: tuple[BodyNode, ...]):
+    for node in body:
+        if isinstance(node, CallNode):
+            yield node
+        elif isinstance(node, ParallelNode):
+            for pb in node.parblocks:
+                yield from _iter_calls(pb)
+        elif isinstance(node, (ManagerNode, OptionNode)):
+            yield from _iter_calls(node.body)
+
+
+def _check_call_graph_acyclic(spec: Spec) -> None:
+    edges: dict[str, set[str]] = {
+        name: {c.procedure for c in _iter_calls(proc.body)}
+        for name, proc in spec.procedures.items()
+    }
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in edges}
+
+    def visit(name: str, stack: list[str]) -> None:
+        color[name] = GRAY
+        stack.append(name)
+        for callee in sorted(edges.get(name, ())):
+            if callee not in edges:
+                continue  # unknown callee reported elsewhere
+            if color[callee] == GRAY:
+                cycle = stack[stack.index(callee):] + [callee]
+                raise ValidationError(
+                    "recursive procedure calls are not supported: "
+                    + " -> ".join(cycle)
+                )
+            if color[callee] == WHITE:
+                visit(callee, stack)
+        stack.pop()
+        color[name] = BLACK
+
+    for name in edges:
+        if color[name] == WHITE:
+            visit(name, [])
+
+
+class _ProcedureChecker:
+    def __init__(
+        self,
+        spec: Spec,
+        proc: Procedure,
+        registry: Mapping[str, PortSpec] | None,
+    ) -> None:
+        self.spec = spec
+        self.proc = proc
+        self.registry = registry
+        self.instance_names: set[str] = set()
+
+    def run(self) -> None:
+        self._check_body(self.proc.body, inside_manager=False)
+
+    def _register_instance(self, name: str, what: str) -> None:
+        if name in self.instance_names:
+            raise ValidationError(
+                f"duplicate {what} instance name {name!r} in procedure "
+                f"{self.proc.name!r}"
+            )
+        self.instance_names.add(name)
+
+    def _check_body(self, body: tuple[BodyNode, ...], *, inside_manager: bool) -> None:
+        for node in body:
+            if isinstance(node, ComponentNode):
+                self._check_component(node)
+            elif isinstance(node, CallNode):
+                self._check_call(node)
+            elif isinstance(node, ParallelNode):
+                self._check_parallel(node, inside_manager=inside_manager)
+            elif isinstance(node, ManagerNode):
+                self._check_manager(node)
+            elif isinstance(node, OptionNode):
+                if not inside_manager:
+                    raise ValidationError(
+                        f"option {node.name!r} in procedure {self.proc.name!r} "
+                        "is not contained in any manager"
+                    )
+                self._check_body(node.body, inside_manager=True)
+                for bp in node.bypasses:
+                    _check_placeholders(self.proc, bp.src, f"bypass of option {node.name!r}")
+                    _check_placeholders(self.proc, bp.dst, f"bypass of option {node.name!r}")
+            else:  # pragma: no cover - parser prevents this
+                raise ValidationError(f"unknown body node {type(node).__name__}")
+
+    def _check_component(self, comp: ComponentNode) -> None:
+        self._register_instance(comp.name, "component")
+        for port, ref in comp.streams.items():
+            _check_placeholders(
+                self.proc, ref, f"stream binding {port!r} of component {comp.name!r}"
+            )
+        for pname, value in comp.params.items():
+            _check_placeholders(
+                self.proc, value, f"param {pname!r} of component {comp.name!r}"
+            )
+        if self.registry is not None:
+            spec = self.registry.get(comp.class_name)
+            if spec is None:
+                raise ValidationError(
+                    f"component {comp.name!r} uses unknown class "
+                    f"{comp.class_name!r}"
+                )
+            declared = set(spec.all_ports)
+            bound = set(comp.streams)
+            if bound != declared:
+                missing = sorted(declared - bound)
+                extra = sorted(bound - declared)
+                parts = []
+                if missing:
+                    parts.append(f"unbound ports {missing}")
+                if extra:
+                    parts.append(f"unknown ports {extra}")
+                raise ValidationError(
+                    f"component {comp.name!r} (class {comp.class_name!r}): "
+                    + "; ".join(parts)
+                )
+            try:
+                spec.check_params(comp.class_name, set(comp.params))
+            except ComponentError as exc:
+                raise ValidationError(f"component {comp.name!r}: {exc}") from exc
+
+    def _check_call(self, call: CallNode) -> None:
+        self._register_instance(call.name, "call")
+        callee = self.spec.procedures.get(call.procedure)
+        if callee is None:
+            raise ValidationError(
+                f"call {call.name!r} targets unknown procedure {call.procedure!r}"
+            )
+        # Stream arguments must cover the formals exactly.
+        formals = callee.formal_stream_names()
+        args = set(call.streams)
+        if args != formals:
+            missing = sorted(formals - args)
+            extra = sorted(args - formals)
+            parts = []
+            if missing:
+                parts.append(f"missing stream args {missing}")
+            if extra:
+                parts.append(f"unknown stream args {extra}")
+            raise ValidationError(
+                f"call {call.name!r} -> {call.procedure!r}: " + "; ".join(parts)
+            )
+        # Param arguments: subset of formals; all non-default formals given.
+        param_formals = {f.name: f for f in callee.param_formals}
+        unknown = sorted(set(call.params) - set(param_formals))
+        if unknown:
+            raise ValidationError(
+                f"call {call.name!r} -> {call.procedure!r}: unknown params {unknown}"
+            )
+        missing = sorted(
+            name
+            for name, formal in param_formals.items()
+            if formal.default is None and name not in call.params
+        )
+        if missing:
+            raise ValidationError(
+                f"call {call.name!r} -> {call.procedure!r}: missing required "
+                f"params {missing}"
+            )
+        for sname, ref in call.streams.items():
+            _check_placeholders(self.proc, ref, f"stream arg {sname!r} of call {call.name!r}")
+        for pname, value in call.params.items():
+            _check_placeholders(self.proc, value, f"param {pname!r} of call {call.name!r}")
+
+    def _check_parallel(self, par: ParallelNode, *, inside_manager: bool) -> None:
+        if par.n is not None:
+            _check_placeholders(self.proc, par.n, "parallel n")
+            if isinstance(par.n, bool) or (
+                isinstance(par.n, (int, float)) and not isinstance(par.n, bool)
+                and (not float(par.n).is_integer() or int(par.n) < 1)
+            ):
+                raise ValidationError(
+                    f"parallel n must be a positive integer, got {par.n!r}"
+                )
+        for pb in par.parblocks:
+            if not pb:
+                raise ValidationError(
+                    f"empty <parblock> in procedure {self.proc.name!r}"
+                )
+            self._check_body(pb, inside_manager=inside_manager)
+
+    def _check_manager(self, mgr: ManagerNode) -> None:
+        self._register_instance(mgr.name, "manager")
+        # Options belonging to this manager: any depth below, but not
+        # crossing into a nested manager.
+        options: dict[str, OptionNode] = {}
+
+        def collect(body: tuple[BodyNode, ...]) -> None:
+            for node in body:
+                if isinstance(node, OptionNode):
+                    if node.name in options:
+                        raise ValidationError(
+                            f"manager {mgr.name!r} has duplicate option "
+                            f"{node.name!r}"
+                        )
+                    options[node.name] = node
+                    collect(node.body)
+                elif isinstance(node, ParallelNode):
+                    for pb in node.parblocks:
+                        collect(pb)
+                # ManagerNode: stop — nested managers own their options.
+
+        collect(mgr.body)
+        for handler in mgr.handlers:
+            if handler.action in ("enable", "disable", "toggle"):
+                assert handler.option is not None  # parser guarantees
+                if handler.option not in options:
+                    raise ValidationError(
+                        f"manager {mgr.name!r}: handler for event "
+                        f"{handler.event!r} references unknown option "
+                        f"{handler.option!r}"
+                    )
+        self._check_body(mgr.body, inside_manager=True)
+
+
+def validate(spec: Spec, *, registry: Mapping[str, PortSpec] | None = None) -> Spec:
+    """Validate ``spec``; returns it unchanged on success.
+
+    ``registry`` maps component class names to :class:`PortSpec`; when
+    given, component classes, port bindings and param schemas are checked
+    too.
+    """
+    if "main" not in spec.procedures:
+        raise ValidationError("specification has no procedure named 'main'")
+    main = spec.procedures["main"]
+    if main.stream_formals or main.param_formals:
+        raise ValidationError("procedure 'main' must not declare formal parameters")
+    for proc in spec.procedures.values():
+        for formal in proc.param_formals:
+            if _placeholders(formal.default):
+                raise ValidationError(
+                    f"procedure {proc.name!r}: default of param "
+                    f"{formal.name!r} must be a literal, not a placeholder"
+                )
+    _check_call_graph_acyclic(spec)
+    for proc in spec.procedures.values():
+        _ProcedureChecker(spec, proc, registry).run()
+    return spec

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the XSPCL / Hinch / SpaceCAKE reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type at the API boundary.  The sub-hierarchy mirrors
+the pipeline stages: parse -> validate -> expand -> schedule -> simulate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class XSPCLError(ReproError):
+    """Base class for errors in XSPCL specification processing."""
+
+
+class ParseError(XSPCLError):
+    """The XSPCL document is not well-formed or uses unknown tags.
+
+    Carries the source line when the underlying XML parser provides one.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(XSPCLError):
+    """The specification is well-formed XML but semantically invalid.
+
+    Examples: duplicate procedure names, missing ``main``, recursive
+    procedure calls, wrong parameter arity, a stream with two writers.
+    """
+
+
+class ExpansionError(XSPCLError):
+    """Procedure inlining or parallel-shape replication failed."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a task graph (cycle, unknown node, ...)."""
+
+
+class NotSeriesParallelError(GraphError):
+    """An operation that requires an SP graph was given a non-SP graph."""
+
+
+class SchedulingError(ReproError):
+    """The Hinch scheduler reached an inconsistent state."""
+
+
+class StreamError(ReproError):
+    """Stream protocol violation (double write, read-before-write, ...)."""
+
+
+class EventError(ReproError):
+    """Event queue misuse (unknown queue, bad payload, ...)."""
+
+
+class ReconfigurationError(ReproError):
+    """A reconfiguration request could not be applied."""
+
+
+class ComponentError(ReproError):
+    """A component implementation misbehaved (wrong ports, bad output...)."""
+
+
+class RegistryError(ComponentError):
+    """Unknown component class name, or duplicate registration."""
+
+
+class SimulationError(ReproError):
+    """The SpaceCAKE discrete-event simulation reached a bad state."""
+
+
+class PredictionError(ReproError):
+    """Performance prediction could not be computed for this graph."""
+
+
+class CodecError(ReproError):
+    """Mini-JPEG encode/decode failure (corrupt bitstream, bad marker...)."""

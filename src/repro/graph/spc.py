@@ -1,0 +1,218 @@
+"""SP (series-parallel) composition trees — the SPC structural model.
+
+The paper expresses task graphs in van Gemund's SPC model: a graph is
+specified *recursively* by combining subgraphs with sequential and parallel
+constructs; the leaves of the hierarchy are individual components.  This
+module is the algebra itself, independent of XSPCL syntax and of any
+runtime concern.
+
+Design notes
+------------
+* Nodes are immutable after construction (hashable by identity is not
+  enough — structural equality is needed by tests and by the expander's
+  procedure-instantiation cache — so ``__eq__`` compares structure).
+* ``Series``/``Parallel`` auto-flatten nested compositions of the same
+  kind: ``series(a, series(b, c))`` equals ``series(a, b, c)``.  This
+  keeps trees canonical so structural equality is meaningful.
+* A ``Leaf`` carries an opaque ``payload`` (typically a component
+  instance descriptor) and a ``label`` for display and for the DOT
+  exporter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import GraphError
+
+__all__ = ["SPNode", "Leaf", "Series", "Parallel", "series", "parallel"]
+
+
+class SPNode:
+    """Abstract base of SP composition trees."""
+
+    __slots__ = ()
+
+    def leaves(self) -> list["Leaf"]:
+        """All leaves in left-to-right (series) order."""
+        out: list[Leaf] = []
+        self._collect_leaves(out)
+        return out
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the composition tree (a leaf has depth 1)."""
+        raise NotImplementedError
+
+    def width(self) -> int:
+        """Maximum number of leaves that may execute concurrently.
+
+        Pipeline parallelism is not counted — this is parallelism *within*
+        one iteration of the task graph, which is what the SPC model
+        describes.
+        """
+        raise NotImplementedError
+
+    def serial_length(self) -> int:
+        """Number of leaves on the longest series chain (unit weights)."""
+        raise NotImplementedError
+
+    def map_leaves(self, fn: Callable[["Leaf"], "SPNode"]) -> "SPNode":
+        """Structurally rebuild the tree, replacing each leaf by ``fn(leaf)``.
+
+        ``fn`` may return any SP subtree, which makes this the substrate
+        for procedure inlining and data-parallel replication.
+        """
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator["SPNode"]:
+        """Pre-order traversal of all nodes (self first)."""
+        yield self
+
+    # -- operator sugar ---------------------------------------------------
+    def __rshift__(self, other: "SPNode") -> "Series":
+        """``a >> b`` is series composition."""
+        return series(self, other)
+
+    def __or__(self, other: "SPNode") -> "Parallel":
+        """``a | b`` is (task-)parallel composition."""
+        return parallel(self, other)
+
+
+class Leaf(SPNode):
+    """A leaf of the SP tree: one schedulable unit of work."""
+
+    __slots__ = ("label", "payload", "weight")
+
+    def __init__(self, label: str, payload: Any = None, weight: float = 1.0) -> None:
+        if not label:
+            raise GraphError("Leaf label must be non-empty")
+        if weight < 0:
+            raise GraphError(f"Leaf weight must be >= 0, got {weight}")
+        self.label = label
+        self.payload = payload
+        self.weight = float(weight)
+
+    def _collect_leaves(self, out: list["Leaf"]) -> None:
+        out.append(self)
+
+    def depth(self) -> int:
+        return 1
+
+    def width(self) -> int:
+        return 1
+
+    def serial_length(self) -> int:
+        return 1
+
+    def map_leaves(self, fn: Callable[["Leaf"], SPNode]) -> SPNode:
+        return fn(self)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Leaf)
+            and self.label == other.label
+            and self.payload == other.payload
+            and self.weight == other.weight
+        )
+
+    def __hash__(self) -> int:
+        return hash(("leaf", self.label, self.weight))
+
+    def __repr__(self) -> str:
+        return f"Leaf({self.label!r})"
+
+
+class _Composite(SPNode):
+    """Shared machinery of Series and Parallel."""
+
+    __slots__ = ("children",)
+    _kind = "?"
+
+    def __init__(self, children: tuple[SPNode, ...]) -> None:
+        if len(children) < 1:
+            raise GraphError(f"{type(self).__name__} needs at least one child")
+        self.children = children
+
+    def _collect_leaves(self, out: list[Leaf]) -> None:
+        for child in self.children:
+            child._collect_leaves(out)
+
+    def depth(self) -> int:
+        return 1 + max(c.depth() for c in self.children)
+
+    def map_leaves(self, fn: Callable[[Leaf], SPNode]) -> SPNode:
+        mapped = [c.map_leaves(fn) for c in self.children]
+        ctor = series if isinstance(self, Series) else parallel
+        return ctor(*mapped)
+
+    def __iter__(self) -> Iterator[SPNode]:
+        yield self
+        for child in self.children:
+            yield from child
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((self._kind, self.children))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+class Series(_Composite):
+    """Sequential composition: children run one after another."""
+
+    __slots__ = ()
+    _kind = "series"
+
+    def width(self) -> int:
+        return max(c.width() for c in self.children)
+
+    def serial_length(self) -> int:
+        return sum(c.serial_length() for c in self.children)
+
+
+class Parallel(_Composite):
+    """Parallel composition: children are independent within an iteration."""
+
+    __slots__ = ()
+    _kind = "parallel"
+
+    def width(self) -> int:
+        return sum(c.width() for c in self.children)
+
+    def serial_length(self) -> int:
+        return max(c.serial_length() for c in self.children)
+
+
+def _flatten(kind: type, items: tuple[SPNode, ...]) -> tuple[SPNode, ...]:
+    out: list[SPNode] = []
+    for item in items:
+        if not isinstance(item, SPNode):
+            raise GraphError(f"expected SPNode, got {type(item).__name__}")
+        if type(item) is kind:
+            out.extend(item.children)  # type: ignore[attr-defined]
+        else:
+            out.append(item)
+    return tuple(out)
+
+
+def series(*children: SPNode) -> SPNode:
+    """Series-compose subtrees; singletons collapse, nesting flattens."""
+    flat = _flatten(Series, children)
+    if len(flat) == 1:
+        return flat[0]
+    return Series(flat)
+
+
+def parallel(*children: SPNode) -> SPNode:
+    """Parallel-compose subtrees; singletons collapse, nesting flattens."""
+    flat = _flatten(Parallel, children)
+    if len(flat) == 1:
+        return flat[0]
+    return Parallel(flat)

@@ -1,0 +1,54 @@
+"""Hinch — the run time system underneath XSPCL.
+
+Hinch (Nijhuis et al., Euro-Par '06) "provides automatic load balancing
+using a central job queue.  It runs the application in a data flow style
+by putting a job in this queue for each component that is ready to be
+run.  Furthermore, Hinch provides generic functions for streaming and
+event communication."
+
+This package reproduces those responsibilities:
+
+* :mod:`repro.hinch.stream` — streaming communication (whole-frame slots
+  per iteration, shared by data-parallel copies);
+* :mod:`repro.hinch.events` — asynchronous event queues;
+* :mod:`repro.hinch.component` — the component base class, its
+  reconfiguration interface, and the per-job context API;
+* :mod:`repro.hinch.jobqueue` — the central job queue;
+* :mod:`repro.hinch.scheduler` — backend-agnostic dataflow state machine:
+  per-iteration dependency counting, pipeline parallelism across
+  iterations, manager-driven reconfiguration (halt, drain, splice,
+  resume);
+* :mod:`repro.hinch.runtime` — the threaded runtime that executes
+  components for real (correctness backend; the SpaceCAKE simulator in
+  :mod:`repro.spacecake` is the performance backend and reuses the same
+  scheduler).
+"""
+
+from repro.hinch.events import Event, EventBroker, EventQueue
+from repro.hinch.stream import Stream, StreamStore
+from repro.hinch.component import Component, JobContext
+from repro.hinch.jobqueue import Job, JobQueue
+from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan, SchedulerHooks
+from repro.hinch.runtime import RunResult, ThreadedRuntime
+from repro.hinch.grouping import group_linear_chains
+from repro.hinch.tracing import TraceEvent, Tracer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "EventBroker",
+    "Stream",
+    "StreamStore",
+    "Component",
+    "JobContext",
+    "Job",
+    "JobQueue",
+    "DataflowScheduler",
+    "SchedulerHooks",
+    "ReconfigPlan",
+    "ThreadedRuntime",
+    "RunResult",
+    "group_linear_chains",
+    "TraceEvent",
+    "Tracer",
+]

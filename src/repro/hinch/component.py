@@ -1,0 +1,211 @@
+"""Component base class and the per-job context API.
+
+Components "implement the basic functionality of the application" and
+interact with the world exclusively through:
+
+* their stream ports (``job.read`` / ``job.write`` / ``job.buffer``),
+* events (``job.post_event``),
+* the reconfiguration interface (:meth:`Component.reconfigure`), which
+  also delivers the slice assignment in data-parallel mode.
+
+A component never learns which other components its streams connect to —
+the abstraction requirement of paper §2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.ports import PortSpec
+from repro.core.program import ComponentInstance
+from repro.errors import ComponentError
+from repro.hinch.events import Event, EventBroker
+from repro.hinch.stream import StreamStore
+
+__all__ = ["Component", "JobContext"]
+
+
+class Component:
+    """Base class for all component implementations.
+
+    Subclasses override :meth:`run` (mandatory) and optionally
+    :meth:`setup`, :meth:`reconfigure`, :meth:`teardown`.  The constructor
+    signature is fixed: the runtime instantiates components as
+    ``cls(instance)``.
+
+    Class attribute ``ports`` declares the component class's i/o ports
+    and parameter schema; the registry publishes it to the validator.
+    """
+
+    ports: PortSpec = PortSpec()
+
+    #: When True, the SpaceCAKE simulator executes this component even in
+    #: cost-only mode (no functional data).  Set it on lightweight control
+    #: components (event timers) whose *behaviour* — not data — drives the
+    #: experiment; such components must tolerate streams carrying nothing.
+    always_execute: bool = False
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> Any | None:
+        """Intrinsic cost of one job (a ``spacecake.costmodel.JobCost``).
+
+        Return ``None`` (the default) to use the simulator's fallback
+        cost.  Implementations derive cycles and per-port byte counts
+        from the instance's parameters and slice assignment.
+        """
+        return None
+
+    def __init__(self, instance: ComponentInstance) -> None:
+        self.instance = instance
+        self.params = dict(instance.params)
+        #: (index, n) when running in data-parallel mode, else None.  Set
+        #: from the instance descriptor — the runtime additionally calls
+        #: reconfigure() with a "slice=i/n" request, mirroring the paper's
+        #: use of the reconfiguration interface for slice assignment.
+        self.slice = instance.slice
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def setup(self) -> None:
+        """Called once after construction, before the first run."""
+
+    def run(self, job: "JobContext") -> None:
+        """Execute one iteration's worth of work."""
+        raise NotImplementedError
+
+    def reconfigure(self, request: str) -> None:
+        """Reconfiguration interface (paper §3.1).
+
+        Default: parse ``key=value`` into ``self.params``; ``slice=i/n``
+        updates the slice assignment.  Subclasses may override for richer
+        behaviour (e.g. the picture-in-picture blender moving the blended
+        picture).
+        """
+        for part in request.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ComponentError(
+                    f"component {self.instance.instance_id!r}: malformed "
+                    f"reconfiguration request {part!r}"
+                )
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "slice":
+                index_s, _, n_s = value.partition("/")
+                self.slice = (int(index_s), int(n_s))
+            else:
+                self.params[key] = value
+
+    def teardown(self) -> None:
+        """Called when the component is destroyed (option disabled)."""
+
+    # -- helpers -----------------------------------------------------------------
+
+    def param(self, name: str, default: Any = None) -> Any:
+        return self.params.get(name, default)
+
+    def require_param(self, name: str) -> Any:
+        try:
+            return self.params[name]
+        except KeyError:
+            raise ComponentError(
+                f"component {self.instance.instance_id!r} requires param "
+                f"{name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.instance.instance_id!r})"
+
+
+class JobContext:
+    """Everything one job execution may touch.
+
+    Bound to (component instance, iteration).  Port-to-stream resolution
+    goes through the *current configuration's* alias map so bypassed
+    streams are transparent to the component.
+    """
+
+    def __init__(
+        self,
+        instance: ComponentInstance,
+        iteration: int,
+        streams: StreamStore,
+        broker: EventBroker,
+        aliases: dict[str, str],
+        *,
+        stop_requester: Callable[[], None] | None = None,
+    ) -> None:
+        self.instance = instance
+        self.iteration = iteration
+        self._streams = streams
+        self._broker = broker
+        self._aliases = aliases
+        self._stop_requester = stop_requester
+        #: bytes moved, filled by read/write for cost accounting
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- stream access ---------------------------------------------------------
+
+    def _resolve(self, port: str) -> str:
+        try:
+            raw = self.instance.streams[port]
+        except KeyError:
+            raise ComponentError(
+                f"component {self.instance.instance_id!r} has no port "
+                f"{port!r} bound (bound: {sorted(self.instance.streams)})"
+            ) from None
+        return self._aliases.get(raw, raw)
+
+    def read(self, port: str) -> Any:
+        """Read this iteration's value from an input port."""
+        value = self._streams.stream(self._resolve(port)).get(self.iteration)
+        self.bytes_read += _nbytes(value)
+        return value
+
+    def write(self, port: str, value: Any) -> None:
+        """Write this iteration's value to an output port (whole value)."""
+        self._streams.stream(self._resolve(port)).put(self.iteration, value)
+        self.bytes_written += _nbytes(value)
+
+    def buffer(self, port: str, factory: Callable[[], Any]) -> Any:
+        """Get the shared output buffer for a sliced writer.
+
+        The first copy to arrive allocates via ``factory``; every copy
+        then fills its own region in place.
+        """
+        buf = self._streams.stream(self._resolve(port)).ensure_buffer(
+            self.iteration, factory
+        )
+        return buf
+
+    def note_written(self, nbytes: int) -> None:
+        """Record bytes written through a :meth:`buffer` (cost accounting)."""
+        self.bytes_written += nbytes
+
+    # -- events -------------------------------------------------------------------
+
+    def post_event(self, queue: str, name: str, payload: Any = None) -> None:
+        self._broker.post(
+            queue, Event(name=name, payload=payload,
+                         source=self.instance.instance_id)
+        )
+
+    # -- control --------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the runtime to stop admitting iterations (e.g. end of input)."""
+        if self._stop_requester is not None:
+            self._stop_requester()
+
+
+def _nbytes(value: Any) -> int:
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    return 0

@@ -1,0 +1,103 @@
+"""Asynchronous event communication (paper §2.3b, §3.4).
+
+Events are "an asynchronous communication primitive for small pieces of
+data": a component may post an event at any moment, independent of the
+current iteration; managers poll their queue when invoked at subgraph
+entry/exit and react by toggling options, forwarding, or broadcasting
+reconfiguration requests.
+
+Queues are named and owned by an :class:`EventBroker`; sending components
+receive the queue *name* through an initialization parameter (exactly the
+paper's prototype mechanism) and resolve it through the broker at post
+time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import EventError
+
+__all__ = ["Event", "EventQueue", "EventBroker"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A small asynchronous message.
+
+    ``name`` selects the manager handler; ``payload`` is free-form (used
+    e.g. as the reconfiguration request detail); ``source`` identifies
+    the posting component (or ``"external"`` for user input injected by
+    the harness).
+    """
+
+    name: str
+    payload: Any = None
+    source: str = "external"
+
+
+class EventQueue:
+    """Thread-safe FIFO of events."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._items: list[Event] = []
+        self._posted = 0
+
+    def post(self, event: Event) -> None:
+        with self._lock:
+            self._items.append(event)
+            self._posted += 1
+
+    def poll(self) -> list[Event]:
+        """Drain and return all pending events (oldest first)."""
+        with self._lock:
+            items, self._items = self._items, []
+        return items
+
+    def peek_count(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def total_posted(self) -> int:
+        """Number of events ever posted (for tests and statistics)."""
+        with self._lock:
+            return self._posted
+
+    def __repr__(self) -> str:
+        return f"EventQueue({self.name!r}, pending={self.peek_count()})"
+
+
+class EventBroker:
+    """Name -> queue directory; creates queues on first use.
+
+    Queue names are global to an application run (see expander notes);
+    parametrizing a procedure with different queue names yields distinct
+    queues.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queues: dict[str, EventQueue] = {}
+
+    def queue(self, name: str) -> EventQueue:
+        if not name:
+            raise EventError("event queue name must be non-empty")
+        with self._lock:
+            queue = self._queues.get(name)
+            if queue is None:
+                queue = EventQueue(name)
+                self._queues[name] = queue
+            return queue
+
+    def post(self, queue_name: str, event: Event) -> None:
+        self.queue(queue_name).post(event)
+
+    @property
+    def queue_names(self) -> list[str]:
+        with self._lock:
+            return list(self._queues)

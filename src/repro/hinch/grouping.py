@@ -1,0 +1,127 @@
+"""Component grouping: schedule producer+consumer as one entity (§4.1).
+
+"This issue can be addressed in future versions by grouping several
+components into a group that is scheduled as one entity.  The consumer
+components in this group will then be run immediately after the
+producers, when the data is still in the cache.  However, this approach
+reduces the amount of parallelism in the application ..."
+
+:func:`group_linear_chains` implements that future version: it rewrites a
+built task graph, merging *linear chains* of task nodes (single successor
+meets single predecessor, both plain components with the same slice
+assignment) into one composite node.  The runtimes execute a composite
+node's members back-to-back in one job on one core — so in the SpaceCAKE
+model the intermediate stream's cache keys are written and immediately
+re-read by the same core (L1 hits), reproducing exactly the reuse the
+paper predicts, while the merged node makes the lost parallelism visible
+to the scheduler.
+
+Both backends accept ``group_chains=True``; grouping is re-applied after
+every reconfiguration splice.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import ComponentInstance, ProgramGraph
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["group_linear_chains", "GROUP_SEPARATOR"]
+
+GROUP_SEPARATOR = "+"
+
+
+def _chain_heads(graph: TaskGraph) -> list[list[str]]:
+    """Maximal linear chains of fusable task nodes (length >= 2)."""
+
+    def fusable_edge(u: str, v: str) -> bool:
+        nu, nv = graph.node(u), graph.node(v)
+        if nu.kind != "task" or nv.kind != "task":
+            return False
+        if graph.out_degree(u) != 1 or graph.in_degree(v) != 1:
+            return False
+        pu = nu.payload
+        pv = nv.payload
+        if not isinstance(pu, ComponentInstance) or not isinstance(
+            pv, ComponentInstance
+        ):
+            return False
+        return pu.slice == pv.slice
+
+    in_chain: set[str] = set()
+    chains: list[list[str]] = []
+    for node in graph.topological_order():
+        if node in in_chain:
+            continue
+        # only start a chain at a node that is not a fusable continuation
+        preds = graph.predecessors(node)
+        if len(preds) == 1 and fusable_edge(preds[0], node):
+            continue
+        chain = [node]
+        cur = node
+        while True:
+            succs = graph.successors(cur)
+            if len(succs) == 1 and fusable_edge(cur, succs[0]):
+                cur = succs[0]
+                chain.append(cur)
+            else:
+                break
+        if len(chain) >= 2:
+            chains.append(chain)
+            in_chain.update(chain)
+    return chains
+
+
+def group_linear_chains(pg: ProgramGraph) -> ProgramGraph:
+    """Return a ProgramGraph with linear component chains merged.
+
+    Composite nodes get id ``a+b+c`` and payload ``(inst_a, inst_b,
+    inst_c)`` in execution order; everything else (streams, aliases,
+    option states) is shared with the input.
+    """
+    graph = pg.graph
+    chains = _chain_heads(graph)
+    if not chains:
+        return pg
+    member_of: dict[str, str] = {}
+    for chain in chains:
+        gid = GROUP_SEPARATOR.join(chain)
+        for node_id in chain:
+            member_of[node_id] = gid
+
+    grouped = TaskGraph()
+    for node in graph:
+        if node.node_id in member_of:
+            gid = member_of[node.node_id]
+            if gid not in grouped:
+                chain = gid.split(GROUP_SEPARATOR)
+                grouped.add_node(
+                    gid,
+                    label=gid,
+                    kind="task",
+                    payload=tuple(graph.node(n).payload for n in chain),
+                    weight=sum(graph.node(n).weight for n in chain),
+                )
+        else:
+            grouped.add_node(
+                node.node_id,
+                label=node.label,
+                kind=node.kind,
+                payload=node.payload,
+                weight=node.weight,
+            )
+
+    def rename(node_id: str) -> str:
+        return member_of.get(node_id, node_id)
+
+    for u, v in graph.edges():
+        gu, gv = rename(u), rename(v)
+        if gu != gv:
+            grouped.add_edge(gu, gv)
+
+    return ProgramGraph(
+        graph=grouped,
+        streams=pg.streams,
+        aliases=pg.aliases,
+        option_states=pg.option_states,
+        active_components=pg.active_components,
+    )

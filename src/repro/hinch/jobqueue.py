@@ -1,0 +1,88 @@
+"""The central job queue (paper: "automatic load balancing using a
+central job queue").
+
+A job is one execution of one task-graph node in one iteration.  The
+queue is a plain FIFO guarded by a condition variable: any idle worker
+pops the oldest ready job, which is Hinch's load-balancing policy — work
+goes wherever there is a free processor, no affinity, no stealing
+hierarchy.  (Cache-affinity effects of this policy are modelled by the
+SpaceCAKE cost model, not here.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["Job", "JobQueue"]
+
+
+@dataclass(frozen=True, order=True)
+class Job:
+    """One (iteration, node) execution."""
+
+    iteration: int
+    node_id: str
+
+
+class JobQueue:
+    """Thread-safe FIFO with shutdown support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._items: deque[Job] = deque()
+        self._closed = False
+        self._pushed = 0
+
+    def push(self, job: Job) -> None:
+        with self._not_empty:
+            if self._closed:
+                return  # late completions during shutdown are dropped
+            self._items.append(job)
+            self._pushed += 1
+            self._not_empty.notify()
+
+    def push_all(self, jobs: list[Job]) -> None:
+        with self._not_empty:
+            if self._closed:
+                return
+            self._items.extend(jobs)
+            self._pushed += len(jobs)
+            self._not_empty.notify(len(jobs))
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """Block until a job is available; None on close or timeout."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            if self._items:
+                return self._items.popleft()
+            return None  # closed and drained
+
+    def try_pop(self) -> Job | None:
+        with self._lock:
+            if self._items:
+                return self._items.popleft()
+            return None
+
+    def close(self) -> None:
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def total_pushed(self) -> int:
+        with self._lock:
+            return self._pushed

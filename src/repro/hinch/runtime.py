@@ -1,0 +1,319 @@
+"""ThreadedRuntime: Hinch executing for real on worker threads.
+
+This is the *correctness* backend: components compute actual data (numpy
+frames, JPEG bitstreams...), streams carry it, managers reconfigure live.
+``nodes`` worker threads pop jobs from the central queue — under CPython's
+GIL this yields concurrency, not parallel speedup; performance curves come
+from the SpaceCAKE simulator (:mod:`repro.spacecake`), which reuses the
+same :class:`~repro.hinch.scheduler.DataflowScheduler` and this module's
+:class:`ComponentHost` splice logic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.program import Program, ProgramGraph
+from repro.errors import SchedulingError
+from repro.hinch.component import Component, JobContext
+from repro.hinch.events import Event, EventBroker
+from repro.hinch.jobqueue import Job, JobQueue
+from repro.hinch.manager import ManagerRuntime
+from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
+from repro.hinch.stream import StreamStore
+from repro.hinch.tracing import TraceEvent, Tracer
+
+__all__ = ["ThreadedRuntime", "RunResult", "ComponentHost"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application run."""
+
+    completed_iterations: int
+    elapsed_seconds: float
+    reconfig_count: int
+    trace: Tracer
+    components: dict[str, Component]
+    stream_stats: dict[str, tuple[int, int]]  # name -> (writes, reads)
+    events_handled: int = 0
+    events_ignored: int = 0
+
+
+class ComponentHost:
+    """Owns live component objects and applies reconfiguration splices.
+
+    Shared by both backends: the threaded runtime creates/destroys real
+    component objects; the simulator reuses the same bookkeeping so that
+    creation costs and membership stay identical.
+    """
+
+    def __init__(
+        self, program: Program, registry: Mapping[str, type[Component]]
+    ) -> None:
+        self.program = program
+        self.registry = registry
+        self.live: dict[str, Component] = {}
+        self.created_total = 0
+
+    def create(self, instance_id: str) -> Component:
+        instance = self.program.components[instance_id]
+        cls = self.registry[instance.class_name]
+        component = cls(instance)
+        component.setup()
+        if instance.slice is not None:
+            index, total = instance.slice
+            component.reconfigure(f"slice={index}/{total}")
+        if instance.reconfigure:
+            component.reconfigure(instance.reconfigure)
+        self.created_total += 1
+        return component
+
+    def populate(self, active: tuple[str, ...]) -> None:
+        for instance_id in active:
+            self.live[instance_id] = self.create(instance_id)
+
+    def splice(
+        self,
+        new_active: tuple[str, ...],
+        precreated: dict[str, Component],
+    ) -> tuple[list[str], list[str]]:
+        """Swap membership to ``new_active``; returns (added, removed)."""
+        new_set = set(new_active)
+        removed = [i for i in self.live if i not in new_set]
+        for instance_id in removed:
+            self.live.pop(instance_id).teardown()
+        added = [i for i in new_active if i not in self.live]
+        for instance_id in added:
+            component = precreated.pop(instance_id, None)
+            if component is None:
+                component = self.create(instance_id)
+            self.live[instance_id] = component
+        return added, removed
+
+
+class ThreadedRuntime:
+    """Run a Program on worker threads with real component execution."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Mapping[str, type[Component]],
+        *,
+        nodes: int = 1,
+        pipeline_depth: int = 5,
+        max_iterations: int,
+        trace: bool = False,
+        option_states: Mapping[str, bool] | None = None,
+        group_chains: bool = False,
+    ) -> None:
+        if nodes < 1:
+            raise SchedulingError(f"nodes must be >= 1, got {nodes}")
+        self.program = program
+        self.nodes = nodes
+        self.pipeline_depth = pipeline_depth
+        self.max_iterations = max_iterations
+        self.group_chains = group_chains
+        self.broker = EventBroker()
+        self.streams = StreamStore()
+        self.tracer = Tracer(enabled=trace)
+        self.host = ComponentHost(program, registry)
+
+        self._lock = threading.RLock()
+        self.pg: ProgramGraph = self._make_pg(program, option_states)
+        self._target_states: dict[str, bool] = dict(self.pg.option_states)
+        self._precreated: dict[str, Component] = {}
+        self.host.populate(self.pg.active_components)
+        self.managers = {
+            qname: ManagerRuntime(info, self.broker, self)
+            for qname, info in program.managers.items()
+        }
+        self.scheduler = DataflowScheduler(
+            self.pg,
+            pipeline_depth=pipeline_depth,
+            max_iterations=max_iterations,
+            hooks=self,
+        )
+        self.queue = JobQueue()
+        self._failure: BaseException | None = None
+        self._start_time = 0.0
+        #: (resume_iteration, option states) per applied reconfiguration
+        self.reconfig_log: list[tuple[int, dict[str, bool]]] = []
+
+    def _make_pg(
+        self, program: Program, option_states: Mapping[str, bool] | None
+    ) -> ProgramGraph:
+        pg = program.build_graph(option_states)
+        if self.group_chains:
+            from repro.hinch.grouping import group_linear_chains
+
+            pg = group_linear_chains(pg)
+        return pg
+
+    # -- SchedulerHooks ------------------------------------------------------
+
+    def on_iteration_complete(self, iteration: int) -> None:
+        self.streams.release_iteration(iteration)
+
+    def on_reconfigure(
+        self, plans: list[ReconfigPlan], resume_iteration: int
+    ) -> ProgramGraph:
+        states = dict(self.pg.option_states)
+        for plan in plans:
+            states.update(plan.changes)
+        new_pg = self._make_pg(self.program, states)
+        self.host.splice(new_pg.active_components, self._precreated)
+        # Anything pre-created for a change that was later reverted is
+        # discarded here (its option ended up disabled).
+        for component in self._precreated.values():
+            component.teardown()
+        self._precreated.clear()
+        self.pg = new_pg
+        self._target_states = dict(states)
+        self.reconfig_log.append((resume_iteration, dict(states)))
+        return new_pg
+
+    # -- ReconfigController -----------------------------------------------------
+
+    def target_option_state(self, option_qname: str) -> bool:
+        with self._lock:
+            return self._target_states[option_qname]
+
+    def apply_option_changes(self, manager: str, changes: dict[str, bool]) -> None:
+        with self._lock:
+            effective = {
+                opt: state
+                for opt, state in changes.items()
+                if self._target_states.get(opt) != state
+            }
+            if not effective:
+                return
+            self._target_states.update(effective)
+            # Pre-create components for options being enabled, while the
+            # subgraph is still active (paper §3.4: reduces reconfig time).
+            for opt, state in effective.items():
+                if state:
+                    for member in self.program.options[opt].members:
+                        if (
+                            member not in self.host.live
+                            and member not in self._precreated
+                        ):
+                            self._precreated[member] = self.host.create(member)
+            self.scheduler.request_reconfig(
+                ReconfigPlan(manager=manager, changes=effective)
+            )
+
+    def send_reconfigure_request(self, manager: str, request: str) -> None:
+        with self._lock:
+            members = list(self.program.managers[manager].members)
+            live = [self.host.live[m] for m in members if m in self.host.live]
+        for component in live:
+            component.reconfigure(request)
+
+    # -- event injection -----------------------------------------------------------
+
+    def post_event(self, queue: str, name: str, payload: Any = None) -> None:
+        """Inject an external (user) event."""
+        self.broker.post(queue, Event(name=name, payload=payload))
+
+    # -- execution --------------------------------------------------------------------
+
+    def _execute(self, job: Job, worker: int) -> None:
+        node = self.pg.graph.node(job.node_id)
+        start = time.perf_counter()
+        if node.kind == "task":
+            payload = node.payload
+            # Grouped nodes carry a tuple of instances: run them
+            # back-to-back as one scheduled entity (paper §4.1).
+            instances = payload if isinstance(payload, tuple) else (payload,)
+            for instance in instances:
+                component = self.host.live[instance.instance_id]
+                ctx = JobContext(
+                    instance,
+                    job.iteration,
+                    self.streams,
+                    self.broker,
+                    self.pg.aliases,
+                    stop_requester=self._request_stop,
+                )
+                component.run(ctx)
+        elif node.kind in ("manager_enter", "manager_exit"):
+            manager = self.managers[node.payload]
+            with self._lock:
+                manager.invoke(job.iteration, node.kind.removeprefix("manager_"))
+        # barriers: nothing to do
+        end = time.perf_counter()
+        self.tracer.record(
+            TraceEvent(
+                node_id=job.node_id,
+                iteration=job.iteration,
+                worker=worker,
+                start=start,
+                end=end,
+                kind=node.kind,
+            )
+        )
+
+    def _request_stop(self) -> None:
+        with self._lock:
+            self.scheduler.request_stop()
+
+    def _worker(self, worker_id: int) -> None:
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                return
+            try:
+                self._execute(job, worker_id)
+            except BaseException as exc:  # propagate to run()
+                with self._lock:
+                    if self._failure is None:
+                        self._failure = exc
+                self.queue.close()
+                return
+            with self._lock:
+                ready = self.scheduler.complete(job)
+                done = self.scheduler.done
+            self.queue.push_all(ready)
+            if done:
+                self.queue.close()
+
+    def run(self) -> RunResult:
+        """Execute to completion; returns statistics and live components."""
+        self._start_time = time.perf_counter()
+        with self._lock:
+            initial = self.scheduler.start()
+            done_immediately = self.scheduler.done
+        self.queue.push_all(initial)
+        if done_immediately:
+            self.queue.close()
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(i,), name=f"hinch-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.nodes)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if self._failure is not None:
+            raise self._failure
+        elapsed = time.perf_counter() - self._start_time
+        stream_stats = {
+            name: self.streams.stream(name).stats for name in self.streams.names
+        }
+        return RunResult(
+            completed_iterations=self.scheduler.completed_iterations,
+            elapsed_seconds=elapsed,
+            reconfig_count=self.scheduler.reconfig_count,
+            trace=self.tracer,
+            components=dict(self.host.live),
+            stream_stats=stream_stats,
+            events_handled=sum(m.events_handled for m in self.managers.values()),
+            events_ignored=sum(m.events_ignored for m in self.managers.values()),
+        )

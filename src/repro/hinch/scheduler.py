@@ -1,0 +1,235 @@
+"""Backend-agnostic dataflow scheduling state machine.
+
+Hinch "runs the application in a data flow style by putting a job in [the
+central] queue for each component that is ready to be run".  This module
+is that readiness logic, shared verbatim by the threaded runtime and by
+the SpaceCAKE virtual-time simulator — the two backends differ only in
+*who executes* a ready job and *when* completion is reported.
+
+Execution model (DESIGN.md §6):
+
+* The application runs ``max_iterations`` iterations of the task graph;
+  node *n* of iteration *k* is ready when all its graph predecessors in
+  *k* are done **and** *n* itself finished iteration *k-1* (components
+  are stateful and streams are in order).
+* Up to ``pipeline_depth`` iterations are in flight concurrently — the
+  paper's implicit pipeline parallelism ("the underlying runtime system
+  automatically starts multiple concurrent iterations"; five in the
+  experiments).
+* Reconfiguration: a manager handler calls :meth:`request_reconfig`; the
+  scheduler stops admitting iterations, lets the in-flight ones drain
+  (the paper: "the amount of parallelism in the application drops until
+  the application is run sequentially"), then asks the runtime — via
+  :class:`SchedulerHooks` — to splice components and rebuild the task
+  graph, and resumes admission.  Components for options being *enabled*
+  were already created when the event arrived, off the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.program import ProgramGraph
+from repro.errors import SchedulingError
+from repro.hinch.jobqueue import Job
+
+__all__ = ["DataflowScheduler", "SchedulerHooks", "ReconfigPlan"]
+
+
+@dataclass
+class ReconfigPlan:
+    """One requested reconfiguration: option-state changes to apply."""
+
+    manager: str
+    changes: dict[str, bool]
+    reason: str = ""
+
+
+class SchedulerHooks(Protocol):
+    """Callbacks the runtime provides to the scheduler."""
+
+    def on_iteration_complete(self, iteration: int) -> None:
+        """All nodes of ``iteration`` finished (release stream slots)."""
+
+    def on_reconfigure(
+        self, plans: list[ReconfigPlan], resume_iteration: int
+    ) -> ProgramGraph:
+        """Graph is quiescent: splice components, return the new graph."""
+
+
+class _NullHooks:
+    def on_iteration_complete(self, iteration: int) -> None:
+        pass
+
+    def on_reconfigure(
+        self, plans: list[ReconfigPlan], resume_iteration: int
+    ) -> ProgramGraph:  # pragma: no cover - only reached with reconfig
+        raise SchedulingError("reconfiguration requested but no hooks installed")
+
+
+@dataclass
+class _IterationState:
+    remaining: dict[str, int]
+    dispatched: set[str] = field(default_factory=set)
+    done: set[str] = field(default_factory=set)
+
+
+class DataflowScheduler:
+    """Tracks readiness; emits ready jobs, consumes completions.
+
+    Not thread-safe by itself — the threaded runtime serializes calls
+    with a lock; the simulator is single-threaded.
+    """
+
+    def __init__(
+        self,
+        pg: ProgramGraph,
+        *,
+        pipeline_depth: int = 5,
+        max_iterations: int,
+        hooks: SchedulerHooks | None = None,
+    ) -> None:
+        if pipeline_depth < 1:
+            raise SchedulingError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
+        if max_iterations < 0:
+            raise SchedulingError(f"max_iterations must be >= 0, got {max_iterations}")
+        self.pg = pg
+        self.pipeline_depth = pipeline_depth
+        self.max_iterations = max_iterations
+        self.hooks: SchedulerHooks = hooks if hooks is not None else _NullHooks()
+
+        self._iters: dict[int, _IterationState] = {}
+        self._last_done: dict[str, int] = {n: -1 for n in pg.graph.node_ids}
+        self._next_admit = 0
+        self._halted = False
+        self._pending_plans: list[ReconfigPlan] = []
+        self._completed_iterations = 0
+        self._reconfig_count = 0
+        self._started = False
+
+    # -- public state ------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._iters)
+
+    @property
+    def done(self) -> bool:
+        return (
+            self._started
+            and not self._iters
+            and not self._pending_plans
+            and (self._next_admit >= self.max_iterations or self._halted_forever)
+        )
+
+    @property
+    def completed_iterations(self) -> int:
+        return self._completed_iterations
+
+    @property
+    def reconfig_count(self) -> int:
+        return self._reconfig_count
+
+    _halted_forever = False  # set by request_stop
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> list[Job]:
+        """Admit the initial iterations; returns the first ready jobs."""
+        if self._started:
+            raise SchedulingError("scheduler already started")
+        self._started = True
+        return self._admit()
+
+    def complete(self, job: Job) -> list[Job]:
+        """Record a finished job; returns newly ready jobs."""
+        state = self._iters.get(job.iteration)
+        if state is None:
+            raise SchedulingError(
+                f"completion for unknown iteration {job.iteration} ({job.node_id})"
+            )
+        if job.node_id not in state.dispatched:
+            raise SchedulingError(
+                f"completion for undispatched job {job.node_id}@{job.iteration}"
+            )
+        if job.node_id in state.done:
+            raise SchedulingError(
+                f"duplicate completion for {job.node_id}@{job.iteration}"
+            )
+        state.done.add(job.node_id)
+        self._last_done[job.node_id] = job.iteration
+
+        ready: list[Job] = []
+        # (a) successors within the iteration
+        for succ in self.pg.graph.successors(job.node_id):
+            state.remaining[succ] -= 1
+            self._check_ready(succ, job.iteration, ready)
+        # (b) the same node in the next iteration (cross-iteration dep)
+        nxt = self._iters.get(job.iteration + 1)
+        if nxt is not None:
+            self._check_ready(job.node_id, job.iteration + 1, ready)
+
+        if len(state.done) == len(self.pg.graph):
+            del self._iters[job.iteration]
+            self._completed_iterations += 1
+            self.hooks.on_iteration_complete(job.iteration)
+            ready.extend(self._after_iteration())
+        return ready
+
+    def request_reconfig(self, plan: ReconfigPlan) -> None:
+        """Queue a reconfiguration; admission halts until it is applied."""
+        self._pending_plans.append(plan)
+        self._halted = True
+
+    def request_stop(self) -> None:
+        """Stop admitting new iterations (end of input)."""
+        self._halted_forever = True
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _check_ready(self, node_id: str, iteration: int, out: list[Job]) -> None:
+        state = self._iters.get(iteration)
+        if state is None:
+            return
+        if node_id in state.dispatched:
+            return
+        if state.remaining[node_id] != 0:
+            return
+        if self._last_done[node_id] != iteration - 1:
+            return
+        state.dispatched.add(node_id)
+        out.append(Job(iteration=iteration, node_id=node_id))
+
+    def _admit(self) -> list[Job]:
+        ready: list[Job] = []
+        while (
+            not self._halted
+            and not self._halted_forever
+            and len(self._iters) < self.pipeline_depth
+            and self._next_admit < self.max_iterations
+        ):
+            k = self._next_admit
+            self._next_admit += 1
+            remaining = {
+                n: self.pg.graph.in_degree(n) for n in self.pg.graph.node_ids
+            }
+            self._iters[k] = _IterationState(remaining=remaining)
+            for node_id, degree in remaining.items():
+                if degree == 0:
+                    self._check_ready(node_id, k, ready)
+        return ready
+
+    def _after_iteration(self) -> list[Job]:
+        if self._pending_plans and not self._iters:
+            # Quiescent: apply every queued plan in arrival order.
+            plans, self._pending_plans = self._pending_plans, []
+            resume = self._next_admit
+            new_pg = self.hooks.on_reconfigure(plans, resume)
+            self.pg = new_pg
+            self._reconfig_count += 1
+            # Every node (kept or spliced) is considered caught-up: all
+            # iterations below `resume` have completed globally.
+            self._last_done = {n: resume - 1 for n in new_pg.graph.node_ids}
+            self._halted = False
+        return self._admit()

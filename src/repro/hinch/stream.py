@@ -1,0 +1,148 @@
+"""Streaming communication: the synchronous primitive between components.
+
+A stream is "a data structure in which the data is only used for a
+limited amount of time ... typically implemented using a FIFO queue"
+(paper §1).  With pipeline parallelism, up to ``pipeline_depth``
+iterations are in flight, so a stream holds one *slot per iteration*;
+slots are released when their iteration completes, which bounds memory to
+the pipeline depth — the FIFO behaviour of the paper without a separate
+ring-buffer implementation.
+
+Data-parallel copies share the stream: the slot is a whole-frame buffer
+allocated by the first writer copy (:meth:`Stream.ensure_buffer`), into
+which each copy writes its assigned region.  Unsliced writers use
+:meth:`Stream.put` exactly once per iteration.
+
+The scheduler guarantees writers run before readers inside an iteration;
+the stream *verifies* this (read-before-write and double-put raise
+:class:`~repro.errors.StreamError`), so an under-ordered coordination
+graph is caught loudly instead of producing garbage frames.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import StreamError
+
+__all__ = ["Stream", "StreamStore"]
+
+
+class Stream:
+    """One named stream: per-iteration slots with write-once discipline."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._slots: dict[int, Any] = {}
+        self._finalized: set[int] = set()
+        self._writes = 0
+        self._reads = 0
+
+    # -- writer API ----------------------------------------------------------
+
+    def put(self, iteration: int, value: Any) -> None:
+        """Write the whole value for ``iteration`` (unsliced writer)."""
+        with self._lock:
+            if iteration in self._slots:
+                raise StreamError(
+                    f"stream {self.name!r}: double write in iteration {iteration}"
+                )
+            self._slots[iteration] = value
+            self._finalized.add(iteration)
+            self._writes += 1
+
+    def ensure_buffer(self, iteration: int, factory: Callable[[], Any]) -> Any:
+        """Create-or-get the mutable slot buffer for a sliced writer.
+
+        All slice copies of the writer call this with an equivalent
+        factory; the first call allocates.  The returned buffer is
+        mutated in place (each copy fills its region), so the slot is
+        immediately visible — ordering is the scheduler's job.
+        """
+        with self._lock:
+            if iteration in self._finalized:
+                raise StreamError(
+                    f"stream {self.name!r}: sliced write after finalizing "
+                    f"put() in iteration {iteration}"
+                )
+            buffer = self._slots.get(iteration)
+            if buffer is None:
+                buffer = factory()
+                self._slots[iteration] = buffer
+            self._writes += 1
+            return buffer
+
+    # -- reader API ------------------------------------------------------------
+
+    def get(self, iteration: int) -> Any:
+        """Read the value for ``iteration``; raises if not yet written."""
+        with self._lock:
+            if iteration not in self._slots:
+                raise StreamError(
+                    f"stream {self.name!r}: read before write in iteration "
+                    f"{iteration} (task graph does not order producer before "
+                    "consumer)"
+                )
+            self._reads += 1
+            return self._slots[iteration]
+
+    def has(self, iteration: int) -> bool:
+        with self._lock:
+            return iteration in self._slots
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def release(self, iteration: int) -> None:
+        """Drop the slot for a completed iteration (idempotent)."""
+        with self._lock:
+            self._slots.pop(iteration, None)
+            self._finalized.discard(iteration)
+
+    @property
+    def live_slots(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    @property
+    def stats(self) -> tuple[int, int]:
+        """(writes, reads) counters, for tests and tracing."""
+        with self._lock:
+            return self._writes, self._reads
+
+    def __repr__(self) -> str:
+        return f"Stream({self.name!r}, live={self.live_slots})"
+
+
+class StreamStore:
+    """All streams of one running application, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._streams: dict[str, Stream] = {}
+
+    def stream(self, name: str) -> Stream:
+        with self._lock:
+            stream = self._streams.get(name)
+            if stream is None:
+                stream = Stream(name)
+                self._streams[name] = stream
+            return stream
+
+    def release_iteration(self, iteration: int) -> None:
+        """Release the given iteration's slot in every stream."""
+        with self._lock:
+            streams = list(self._streams.values())
+        for stream in streams:
+            stream.release(iteration)
+
+    @property
+    def names(self) -> list[str]:
+        with self._lock:
+            return list(self._streams)
+
+    def total_live_slots(self) -> int:
+        with self._lock:
+            streams = list(self._streams.values())
+        return sum(s.live_slots for s in streams)

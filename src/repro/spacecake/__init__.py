@@ -1,0 +1,48 @@
+"""SpaceCAKE — a discrete-event model of the Philips MPSoC tile.
+
+The paper evaluates XSPCL "using a cycle-accurate simulator for the
+Philips SpaceCake architecture, which simulates a tile with at most 9
+TriMedia cores.  At a tile, each TriMedia has its own level 1 cache.  The
+level 2 cache is shared between all TriMedias."  That simulator is
+proprietary; this package substitutes a calibrated discrete-event model
+(DESIGN.md §3):
+
+* :mod:`repro.spacecake.devent` — generic event-driven engine;
+* :mod:`repro.spacecake.cache` — footprint-based L1 (per core) / shared
+  L2 / DRAM hierarchy with per-access latency accounting;
+* :mod:`repro.spacecake.machine` — a tile of N cores pulling jobs from
+  the central Hinch queue (greedy list scheduling = Hinch's policy);
+* :mod:`repro.spacecake.costmodel` — per-component-class cycle and byte
+  costs, with the calibration constants used by the benchmarks;
+* :mod:`repro.spacecake.simulator` — :class:`SimRuntime`, a virtual-time
+  backend for the Hinch :class:`~repro.hinch.scheduler.DataflowScheduler`
+  (the same scheduling code the threaded runtime uses), optionally also
+  executing components functionally to validate data correctness under
+  simulation.
+
+Why a simulator at all: CPython's GIL makes real-thread speedup
+unmeasurable, and the paper's own speedup/overhead figures are functions
+of relative cycle counts, cache reuse, and scheduling — exactly what an
+event-driven model captures.
+"""
+
+from repro.spacecake.devent import EventEngine
+from repro.spacecake.cache import CacheConfig, CacheModel, AccessLevel
+from repro.spacecake.machine import Machine, MachineConfig
+from repro.spacecake.costmodel import CostModel, CostParams, JobCost, PortTraffic
+from repro.spacecake.simulator import SimResult, SimRuntime
+
+__all__ = [
+    "EventEngine",
+    "CacheConfig",
+    "CacheModel",
+    "AccessLevel",
+    "Machine",
+    "MachineConfig",
+    "CostModel",
+    "CostParams",
+    "JobCost",
+    "PortTraffic",
+    "SimRuntime",
+    "SimResult",
+]

@@ -1,0 +1,75 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, seq, callback)`` tuples in a binary heap; ``seq`` is a
+monotone tiebreaker so simultaneous events fire in schedule order, which
+keeps every simulation fully deterministic (a property the benchmark
+suite relies on: identical inputs -> identical cycle counts).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventEngine"]
+
+
+class EventEngine:
+    """Time-ordered callback dispatcher."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events until the heap empties (or a bound hits).
+
+        Returns the final simulation time.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                time, _, callback = self._heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = time
+                callback()
+                processed += 1
+                self.events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            return self._now
+        finally:
+            self._running = False
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)

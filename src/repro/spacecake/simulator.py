@@ -1,0 +1,358 @@
+"""SimRuntime: Hinch on virtual time, on the SpaceCAKE machine model.
+
+The simulator reuses, unchanged, the pieces that define Hinch's
+semantics — :class:`~repro.hinch.scheduler.DataflowScheduler` (readiness,
+pipeline depth, reconfiguration drain), :class:`~repro.hinch.manager.
+ManagerRuntime` (event handling), :class:`~repro.hinch.runtime.
+ComponentHost` (component lifecycle and splicing) — and replaces only the
+notion of time: a job dispatched to a core occupies it for the job's cost
+in cycles, computed by the :class:`~repro.spacecake.costmodel.CostModel`
+plus cache accounting.
+
+Two execution modes:
+
+* ``execute=False`` (default, used by the benchmarks): components do not
+  run; only costs flow.  Components whose class sets ``always_execute``
+  (event timers driving reconfiguration experiments) still run.
+* ``execute=True``: components run functionally with real data, so tests
+  can assert that simulated scheduling produces exactly the same frames
+  as the threaded runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.program import Program, ProgramGraph
+from repro.errors import SimulationError
+from repro.hinch.component import Component, JobContext
+from repro.hinch.events import Event, EventBroker
+from repro.hinch.jobqueue import Job
+from repro.hinch.manager import ManagerRuntime
+from repro.hinch.runtime import ComponentHost
+from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
+from repro.hinch.stream import StreamStore
+from repro.hinch.tracing import TraceEvent, Tracer
+from repro.spacecake.cache import CacheStats
+from repro.spacecake.costmodel import CostModel, CostParams
+from repro.spacecake.devent import EventEngine
+from repro.spacecake.machine import Machine, MachineConfig
+
+__all__ = ["SimRuntime", "SimResult"]
+
+#: Region granularity of the cache model: every stream slot is split into
+#: this many equal buckets; a job touches the buckets its slice covers.
+#: Disjoint slice regions therefore never share cache residency, while a
+#: whole-object producer feeding sliced consumers (and vice versa) is
+#: classified per region — the behaviours the paper's cache-miss analysis
+#: depends on.
+SLOT_BUCKETS = 64
+
+
+def _slot_buckets(slice_info: tuple[int, int] | None) -> range:
+    """Bucket indices a component's slice covers (all, when unsliced)."""
+    if slice_info is None:
+        return range(SLOT_BUCKETS)
+    index, total = slice_info
+    lo = index * SLOT_BUCKETS // total
+    hi = max(lo + 1, (index + 1) * SLOT_BUCKETS // total)
+    return range(lo, min(hi, SLOT_BUCKETS))
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated run (times in cycles)."""
+
+    cycles: float
+    completed_iterations: int
+    reconfig_count: int
+    trace: Tracer
+    cache_stats: CacheStats
+    core_busy_cycles: list[float]
+    utilization: float
+    components: dict[str, Component]
+    jobs_executed: int
+    events_handled: int = 0
+    components_created: int = 0
+    #: (resume_iteration, option states) per applied reconfiguration
+    reconfig_log: list[tuple[int, dict[str, bool]]] = field(default_factory=list)
+
+    def option_exposure(self, option: str, *, initial: bool,
+                        total_iterations: int) -> int:
+        """Iterations spent with ``option`` enabled over the whole run."""
+        enabled_iters = 0
+        prev = 0
+        state = initial
+        for resume, states in self.reconfig_log:
+            if state:
+                enabled_iters += resume - prev
+            prev = resume
+            state = states.get(option, state)
+        if state:
+            enabled_iters += total_iterations - prev
+        return enabled_iters
+
+    @property
+    def nodes(self) -> int:
+        return len(self.core_busy_cycles)
+
+
+class SimRuntime:
+    """Simulate a Program on an N-core SpaceCAKE tile."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Mapping[str, type[Component]],
+        *,
+        nodes: int = 1,
+        pipeline_depth: int = 5,
+        max_iterations: int,
+        execute: bool = False,
+        cost_params: CostParams | None = None,
+        machine: MachineConfig | None = None,
+        trace: bool = False,
+        option_states: Mapping[str, bool] | None = None,
+        group_chains: bool = False,
+    ) -> None:
+        self.program = program
+        self.registry = registry
+        self.execute = execute
+        self.group_chains = group_chains
+        self.engine = EventEngine()
+        self.machine = Machine(
+            machine if machine is not None else MachineConfig(nodes=nodes)
+        )
+        if machine is not None and machine.nodes != nodes:
+            raise SimulationError("nodes and machine.nodes disagree")
+        self.cost_model = CostModel(registry, cost_params)
+        self.broker = EventBroker()
+        self.streams = StreamStore()
+        self.tracer = Tracer(enabled=trace)
+        self.host = ComponentHost(program, registry)
+
+        self.pg: ProgramGraph = self._make_pg(option_states)
+        self._target_states: dict[str, bool] = dict(self.pg.option_states)
+        self._precreated: dict[str, Component] = {}
+        self.host.populate(self.pg.active_components)
+        self.managers = {
+            qname: ManagerRuntime(info, self.broker, self)
+            for qname, info in program.managers.items()
+        }
+        self.scheduler = DataflowScheduler(
+            self.pg,
+            pipeline_depth=pipeline_depth,
+            max_iterations=max_iterations,
+            hooks=self,
+        )
+        self._pending: deque[Job] = deque()  # the central job queue
+        self._stall_until = 0.0  # reconfiguration splice window
+        self._keys_by_iter: dict[int, set[Any]] = {}
+        self.jobs_executed = 0
+        self._ran = False
+        #: (resume_iteration, option states) per applied reconfiguration
+        self.reconfig_log: list[tuple[int, dict[str, bool]]] = []
+
+    def _make_pg(self, option_states: Mapping[str, bool] | None) -> ProgramGraph:
+        pg = self.program.build_graph(option_states)
+        if self.group_chains:
+            from repro.hinch.grouping import group_linear_chains
+
+            pg = group_linear_chains(pg)
+        return pg
+
+    # -- SchedulerHooks ----------------------------------------------------------
+
+    def on_iteration_complete(self, iteration: int) -> None:
+        self.streams.release_iteration(iteration)
+        for key in self._keys_by_iter.pop(iteration, ()):
+            self.machine.cache.evict(key)
+
+    def on_reconfigure(
+        self, plans: list[ReconfigPlan], resume_iteration: int
+    ) -> ProgramGraph:
+        states = dict(self.pg.option_states)
+        for plan in plans:
+            states.update(plan.changes)
+        new_pg = self._make_pg(states)
+        added, removed = self.host.splice(new_pg.active_components, self._precreated)
+        for component in self._precreated.values():
+            component.teardown()
+        self._precreated.clear()
+        self.pg = new_pg
+        self._target_states = dict(states)
+        self.reconfig_log.append((resume_iteration, dict(states)))
+        # Splicing happens while the graph is quiescent and stalls the
+        # whole tile (the paper: two "simple actions" — add components,
+        # synchronize them — but they serialize the machine).
+        splice = self.cost_model.params.reconfig_splice_cycles * max(
+            1, len(added) + len(removed)
+        )
+        self._stall_until = max(self._stall_until, self.engine.now + splice)
+        return new_pg
+
+    # -- ReconfigController ---------------------------------------------------------
+
+    def target_option_state(self, option_qname: str) -> bool:
+        return self._target_states[option_qname]
+
+    def apply_option_changes(self, manager: str, changes: dict[str, bool]) -> None:
+        effective = {
+            opt: state
+            for opt, state in changes.items()
+            if self._target_states.get(opt) != state
+        }
+        if not effective:
+            return
+        self._target_states.update(effective)
+        for opt, state in effective.items():
+            if state:
+                # Pre-create while the subgraph is still active: costs no
+                # tile time (a host CPU concern in the paper's model).
+                for member in self.program.options[opt].members:
+                    if (
+                        member not in self.host.live
+                        and member not in self._precreated
+                    ):
+                        self._precreated[member] = self.host.create(member)
+        self.scheduler.request_reconfig(ReconfigPlan(manager=manager, changes=effective))
+
+    def send_reconfigure_request(self, manager: str, request: str) -> None:
+        for member in self.program.managers[manager].members:
+            component = self.host.live.get(member)
+            if component is not None:
+                component.reconfigure(request)
+
+    # -- event injection ---------------------------------------------------------------
+
+    def post_event(self, queue: str, name: str, payload: Any = None) -> None:
+        self.broker.post(queue, Event(name=name, payload=payload))
+
+    # -- cost accounting ------------------------------------------------------------------
+
+    def _job_cycles(self, job: Job, core: int) -> float:
+        node = self.pg.graph.node(job.node_id)
+        params = self.cost_model.params
+        speed = self.machine.speed(core)
+        if node.kind == "barrier":
+            return params.barrier_cycles / speed
+        if node.kind in ("manager_enter", "manager_exit"):
+            return params.manager_invoke_cycles / speed
+        payload = node.payload
+        # Grouped nodes (paper §4.1) carry several instances executed
+        # back-to-back on one core: one job overhead, and their internal
+        # stream traffic naturally hits L1 (write then immediate same-core
+        # read of the same keys).
+        instances = payload if isinstance(payload, tuple) else (payload,)
+        cycles = self.cost_model.overhead_cycles(nodes=self.machine.nodes) / speed
+        aliases = self.pg.aliases
+        keyset = self._keys_by_iter.setdefault(job.iteration, set())
+        for instance in instances:
+            cost = self.cost_model.job_cost(instance)
+            cycles += cost.compute_cycles / speed
+            for traffic in cost.traffic:
+                stream = instance.streams.get(traffic.port)
+                if stream is None:
+                    continue
+                stream = aliases.get(stream, stream)
+                buckets = _slot_buckets(instance.slice)
+                part = traffic.nbytes / len(buckets)
+                for bucket in buckets:
+                    key = (stream, job.iteration, bucket)
+                    cycles += self.machine.cache.access(
+                        core, key, int(part), write=traffic.write
+                    )
+                    keyset.add(key)
+        return cycles
+
+    # -- execution ------------------------------------------------------------------------
+
+    def _run_job_effects(self, job: Job) -> None:
+        """Functional side of the job, applied at its completion time."""
+        node = self.pg.graph.node(job.node_id)
+        if node.kind in ("manager_enter", "manager_exit"):
+            self.managers[node.payload].invoke(
+                job.iteration, node.kind.removeprefix("manager_")
+            )
+            return
+        if node.kind != "task":
+            return
+        payload = node.payload
+        instances = payload if isinstance(payload, tuple) else (payload,)
+        for instance in instances:
+            component = self.host.live[instance.instance_id]
+            if self.execute or type(component).always_execute:
+                ctx = JobContext(
+                    instance,
+                    job.iteration,
+                    self.streams,
+                    self.broker,
+                    self.pg.aliases,
+                    stop_requester=self.scheduler.request_stop,
+                )
+                component.run(ctx)
+
+    def _dispatch(self) -> None:
+        now = self.engine.now
+        if now < self._stall_until:
+            # The tile is splicing; try again when it finishes.
+            self.engine.schedule_at(self._stall_until, self._dispatch)
+            return
+        while self._pending:
+            core = self.machine.acquire_core()
+            if core is None:
+                return
+            job = self._pending.popleft()
+            cycles = self._job_cycles(job, core)
+            start = now
+
+            def finish(job=job, core=core, cycles=cycles, start=start) -> None:
+                self.machine.release_core(core, cycles)
+                self._run_job_effects(job)
+                self.jobs_executed += 1
+                self.tracer.record(
+                    TraceEvent(
+                        node_id=job.node_id,
+                        iteration=job.iteration,
+                        worker=core,
+                        start=start,
+                        end=self.engine.now,
+                        kind=self.pg.graph.node(job.node_id).kind
+                        if job.node_id in self.pg.graph
+                        else "task",
+                    )
+                )
+                self._pending.extend(self.scheduler.complete(job))
+                self._dispatch()
+
+            self.engine.schedule(cycles, finish)
+
+    def run(self) -> SimResult:
+        """Simulate to completion; returns cycle counts and statistics."""
+        if self._ran:
+            raise SimulationError("SimRuntime instances are single-use")
+        self._ran = True
+        self._pending.extend(self.scheduler.start())
+        self._dispatch()
+        cycles = self.engine.run()
+        if not self.scheduler.done:
+            raise SimulationError(
+                "simulation deadlocked: event heap empty but scheduler "
+                f"has {self.scheduler.in_flight} iterations in flight"
+            )
+        return SimResult(
+            cycles=cycles,
+            completed_iterations=self.scheduler.completed_iterations,
+            reconfig_count=self.scheduler.reconfig_count,
+            trace=self.tracer,
+            cache_stats=self.machine.cache.stats,
+            core_busy_cycles=list(self.machine.busy_cycles),
+            utilization=self.machine.utilization(cycles) if cycles else 0.0,
+            components=dict(self.host.live),
+            jobs_executed=self.jobs_executed,
+            events_handled=sum(m.events_handled for m in self.managers.values()),
+            components_created=self.host.created_total,
+            reconfig_log=list(self.reconfig_log),
+        )

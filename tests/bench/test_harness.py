@@ -1,0 +1,120 @@
+"""Tests for the benchmark harness (scaled-down frames for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    ALL_VARIANTS,
+    Harness,
+    RECONFIG_VARIANTS,
+    SEQUENTIAL_PARAMS,
+    STATIC_VARIANTS,
+)
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(frames_scale=0.1)
+
+
+def test_variant_tables_cover_the_paper():
+    assert set(STATIC_VARIANTS) == {
+        "PiP-1", "PiP-2", "JPiP-1", "JPiP-2", "Blur-3x3", "Blur-5x5"
+    }
+    assert set(RECONFIG_VARIANTS) == {"PiP-12", "JPiP-12", "Blur-35"}
+    assert STATIC_VARIANTS["PiP-1"].frames == 96
+    assert STATIC_VARIANTS["JPiP-1"].frames == 24  # limited simulation speed
+    assert STATIC_VARIANTS["Blur-3x3"].frames == 96
+
+
+def test_unknown_variant_rejected(harness):
+    with pytest.raises(ReproError, match="unknown variant"):
+        harness.run_xspcl("PiP-99", nodes=1)
+
+
+def test_frames_scaling(harness):
+    assert harness.frames("PiP-1") == 10
+    assert harness.frames("JPiP-1") == 2
+
+
+def test_invalid_scale_rejected():
+    with pytest.raises(ReproError):
+        Harness(frames_scale=0)
+
+
+def test_sequential_params_zero_overheads():
+    assert SEQUENTIAL_PARAMS.job_overhead_cycles == 0
+    assert SEQUENTIAL_PARAMS.sync_overhead_cycles == 0
+
+
+def test_results_are_memoized(harness):
+    a = harness.run_xspcl("Blur-3x3", nodes=2)
+    b = harness.run_xspcl("Blur-3x3", nodes=2)
+    assert a is b
+
+
+def test_programs_are_memoized(harness):
+    assert harness.program("PiP-1", "xspcl") is harness.program("PiP-1", "xspcl")
+
+
+def test_reconfig_variant_has_no_sequential(harness):
+    with pytest.raises(ReproError, match="no sequential build"):
+        harness.run_sequential("PiP-12")
+
+
+def test_static_variant_has_no_reconfig_metric(harness):
+    with pytest.raises(ReproError, match="not a reconfigurable"):
+        harness.reconfig_overhead("PiP-1", 1)
+
+
+def test_speedup_relative_to_fastest_sequential(harness):
+    # definitionally: speedup(1) <= 1 when seq is fastest, and the base
+    # is min(sequential, parallel@1)
+    for name in ("PiP-1", "Blur-3x3"):
+        base = harness.fastest_sequential_cycles(name)
+        assert base <= harness.run_sequential(name).cycles
+        assert base <= harness.run_xspcl(name, nodes=1).cycles
+        assert harness.speedup(name, 1) <= 1.0 + 1e-9
+
+
+def test_all_variants_simulate_at_scale(harness):
+    for name in ALL_VARIANTS:
+        result = harness.run_xspcl(name, nodes=2)
+        assert result.completed_iterations == harness.frames(name)
+
+
+def test_custom_cost_params_flow_through():
+    from repro.spacecake import CostParams
+
+    cheap = Harness(frames_scale=0.05,
+                    cost_params=CostParams(job_overhead_cycles=0.0))
+    costly = Harness(frames_scale=0.05,
+                     cost_params=CostParams(job_overhead_cycles=50_000.0))
+    assert (
+        costly.run_xspcl("Blur-3x3", nodes=1).cycles
+        > cheap.run_xspcl("Blur-3x3", nodes=1).cycles
+    )
+
+
+def test_figures_run_at_small_scale(harness):
+    from repro.bench.figures import (
+        ablation_pipeline_depth,
+        fig8_sequential_overhead,
+        fig9_speedup,
+        fig10_reconfiguration_overhead,
+    )
+
+    fig8 = fig8_sequential_overhead(harness)
+    assert len(fig8.rows) == 6
+    assert "FIG8" in fig8.render()
+
+    fig9 = fig9_speedup(harness, nodes=(1, 3))
+    assert all(len(row) == 3 for row in fig9.rows)
+
+    fig10 = fig10_reconfiguration_overhead(harness, nodes=(1, 2))
+    assert len(fig10.rows) == 3
+
+    abl2 = ablation_pipeline_depth(harness, depths=(1, 2), nodes=2)
+    assert len(abl2.rows) == 2

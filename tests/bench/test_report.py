@@ -1,0 +1,98 @@
+"""Tests for the ASCII report renderers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.bench.report import bar_chart, format_table, line_chart
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ("name", "value"),
+        [("alpha", 1.0), ("b", 123456.0)],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    # all rows same width
+    assert len({len(l) for l in lines[1:]}) == 1
+
+
+def test_format_table_float_formatting():
+    text = format_table(("x",), [(1234.5678,), (1.2345,)])
+    assert "1,235" in text  # large floats grouped, no decimals
+    assert "1.23" in text  # small floats 2 decimals
+
+
+def test_format_table_empty_rows():
+    text = format_table(("a", "b"), [])
+    assert "a" in text and "b" in text
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart([("x", 10.0), ("y", 5.0)], width=20)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 20
+    assert lines[1].count("#") == 10
+
+
+def test_bar_chart_zero_and_empty():
+    assert bar_chart([]) == "(no data)"
+    text = bar_chart([("z", 0.0)])
+    assert "z" in text
+
+
+def test_line_chart_contains_series_marks_and_legend():
+    text = line_chart(
+        {"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+        width=20, height=6, title="T",
+    )
+    assert "T" in text
+    assert "*=a" in text and "+=b" in text
+    assert "*" in text and "+" in text
+
+
+def test_line_chart_empty():
+    assert line_chart({}) == "(no data)"
+
+
+def test_line_chart_single_point():
+    text = line_chart({"s": [(3.0, 7.0)]}, width=10, height=4)
+    assert "*" in text
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["s1", "s2", "s3"]),
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_prop_line_chart_never_crashes(series):
+    text = line_chart(series, width=30, height=8)
+    assert isinstance(text, str)
+    assert len(text.splitlines()) >= 8
+
+
+@given(
+    st.lists(
+        st.tuples(st.text(min_size=1, max_size=8,
+                          alphabet=st.characters(min_codepoint=33,
+                                                 max_codepoint=126)),
+                  st.floats(0, 1e9, allow_nan=False)),
+        min_size=1, max_size=8,
+    )
+)
+def test_prop_bar_chart_never_crashes(items):
+    assert isinstance(bar_chart(items), str)

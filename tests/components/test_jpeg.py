@@ -1,0 +1,297 @@
+"""Tests for the mini-JPEG codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.jpeg import (
+    BitReader,
+    BitWriter,
+    CHROMA_QTABLE,
+    HuffmanCodec,
+    LUMA_QTABLE,
+    ZIGZAG_ORDER,
+    build_canonical_codes,
+    decode_frame,
+    dequantize,
+    dct2_blocks,
+    encode_frame,
+    entropy_decode_frame,
+    idct2_blocks,
+    idct_plane,
+    quantize,
+    scale_qtable,
+    unzigzag_blocks,
+    zigzag_blocks,
+)
+from repro.components.jpeg.codec import (
+    EncodedFrame,
+    encode_plane,
+    entropy_decode_plane,
+)
+from repro.components.video import psnr, synthetic_clip
+from repro.errors import CodecError
+
+
+# -- DCT ----------------------------------------------------------------------
+
+
+def test_dct_idct_roundtrip():
+    rng = np.random.default_rng(0)
+    blocks = rng.normal(0, 50, size=(10, 8, 8))
+    assert np.allclose(idct2_blocks(dct2_blocks(blocks)), blocks, atol=1e-9)
+
+
+def test_dct_constant_block_is_dc_only():
+    block = np.full((1, 8, 8), 42.0)
+    coeffs = dct2_blocks(block)
+    assert coeffs[0, 0, 0] == pytest.approx(42.0 * 8)
+    rest = coeffs.copy()
+    rest[0, 0, 0] = 0
+    assert np.allclose(rest, 0, atol=1e-9)
+
+
+def test_dct_energy_preservation():
+    rng = np.random.default_rng(1)
+    block = rng.normal(0, 30, size=(1, 8, 8))
+    coeffs = dct2_blocks(block)
+    assert np.sum(coeffs**2) == pytest.approx(np.sum(block**2))
+
+
+def test_dct_shape_validation():
+    with pytest.raises(CodecError):
+        dct2_blocks(np.zeros((4, 4)))
+
+
+# -- quantization ---------------------------------------------------------------
+
+
+def test_quantize_dequantize_bounds_error():
+    rng = np.random.default_rng(2)
+    coeffs = rng.normal(0, 100, size=(5, 8, 8))
+    q = quantize(coeffs, LUMA_QTABLE)
+    dq = dequantize(q, LUMA_QTABLE)
+    assert np.all(np.abs(dq - coeffs) <= LUMA_QTABLE / 2 + 1e-9)
+
+
+def test_scale_qtable_quality_extremes():
+    q50 = scale_qtable(LUMA_QTABLE, 50)
+    assert np.array_equal(q50, LUMA_QTABLE)
+    q90 = scale_qtable(LUMA_QTABLE, 90)
+    q10 = scale_qtable(LUMA_QTABLE, 10)
+    assert np.all(q90 <= q50)
+    assert np.all(q10 >= q50)
+    assert np.all(scale_qtable(LUMA_QTABLE, 100) >= 1)
+
+
+def test_scale_qtable_rejects_bad_quality():
+    with pytest.raises(CodecError):
+        scale_qtable(LUMA_QTABLE, 0)
+
+
+# -- zigzag ------------------------------------------------------------------------
+
+
+def test_zigzag_order_is_permutation():
+    assert sorted(ZIGZAG_ORDER.tolist()) == list(range(64))
+
+
+def test_zigzag_starts_with_known_prefix():
+    # Classic JPEG zigzag: 0, 1, 8, 16, 9, 2, 3, 10, ...
+    assert ZIGZAG_ORDER[:8].tolist() == [0, 1, 8, 16, 9, 2, 3, 10]
+
+
+def test_zigzag_roundtrip():
+    rng = np.random.default_rng(3)
+    blocks = rng.integers(-100, 100, size=(7, 8, 8))
+    assert np.array_equal(unzigzag_blocks(zigzag_blocks(blocks)), blocks)
+
+
+# -- bit io ------------------------------------------------------------------------------
+
+
+def test_bitwriter_reader_roundtrip():
+    w = BitWriter()
+    w.write(0b101, 3)
+    w.write(0b1, 1)
+    w.write(0xABC, 12)
+    data = w.getvalue()
+    r = BitReader(data)
+    assert r.read(3) == 0b101
+    assert r.read(1) == 0b1
+    assert r.read(12) == 0xABC
+
+
+def test_bitwriter_rejects_overflow_value():
+    w = BitWriter()
+    with pytest.raises(CodecError):
+        w.write(4, 2)
+
+
+def test_bitreader_exhaustion():
+    r = BitReader(b"\xff")
+    r.read(8)
+    with pytest.raises(CodecError):
+        r.read(1)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**16 - 1), st.integers(1, 17)),
+                max_size=50))
+def test_prop_bit_io_roundtrip(items):
+    w = BitWriter()
+    clipped = [(v & ((1 << n) - 1), n) for v, n in items]
+    for v, n in clipped:
+        w.write(v, n)
+    r = BitReader(w.getvalue())
+    for v, n in clipped:
+        assert r.read(n) == v
+
+
+# -- huffman ------------------------------------------------------------------------------
+
+
+def test_canonical_codes_prefix_free():
+    freqs = {0: 100, 1: 50, 2: 20, 3: 5, 4: 1}
+    codes = build_canonical_codes(freqs)
+    items = [(format(c, f"0{l}b")) for c, l in codes.values()]
+    for a in items:
+        for b in items:
+            if a != b:
+                assert not b.startswith(a)
+
+
+def test_frequent_symbols_get_shorter_codes():
+    freqs = {0: 1000, 1: 10, 2: 1}
+    codes = build_canonical_codes(freqs)
+    assert codes[0][1] <= codes[1][1] <= codes[2][1]
+
+
+def test_single_symbol_alphabet():
+    codec = HuffmanCodec.from_frequencies({7: 3})
+    w = BitWriter()
+    codec.encode_symbol(w, 7)
+    assert codec.decode_symbol(BitReader(w.getvalue())) == 7
+
+
+def test_codec_roundtrip_from_lengths():
+    freqs = {i: (i + 1) ** 2 for i in range(10)}
+    codec = HuffmanCodec.from_frequencies(freqs)
+    rebuilt = HuffmanCodec.from_lengths(codec.lengths())
+    assert rebuilt.codes == codec.codes
+
+
+def test_unknown_symbol_rejected():
+    codec = HuffmanCodec.from_frequencies({1: 1, 2: 1})
+    with pytest.raises(CodecError):
+        codec.encode_symbol(BitWriter(), 99)
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=300))
+def test_prop_huffman_roundtrip(symbols):
+    freqs: dict[int, int] = {}
+    for s in symbols:
+        freqs[s] = freqs.get(s, 0) + 1
+    codec = HuffmanCodec.from_frequencies(freqs)
+    w = BitWriter()
+    for s in symbols:
+        codec.encode_symbol(w, s)
+    r = BitReader(w.getvalue())
+    assert [codec.decode_symbol(r) for _ in symbols] == symbols
+
+
+# -- full codec ---------------------------------------------------------------------------------
+
+
+def test_plane_roundtrip_high_quality():
+    rng = np.random.default_rng(4)
+    plane = rng.integers(0, 256, size=(32, 40), dtype=np.uint8)
+    q = scale_qtable(LUMA_QTABLE, 95)
+    decoded = idct_plane(entropy_decode_plane(encode_plane(plane, q)))
+    err = np.abs(decoded.astype(int) - plane.astype(int))
+    assert err.mean() < 12  # noise is the hardest content
+
+
+def test_smooth_plane_near_lossless():
+    xx, yy = np.mgrid[0:32, 0:32]
+    plane = ((xx + yy) * 2).astype(np.uint8)
+    q = scale_qtable(LUMA_QTABLE, 95)
+    decoded = idct_plane(entropy_decode_plane(encode_plane(plane, q)))
+    assert np.abs(decoded.astype(int) - plane.astype(int)).max() <= 4
+
+
+def test_frame_roundtrip_psnr():
+    frame = synthetic_clip(64, 48, 1, seed=5, detail=0.3)[0]
+    encoded = encode_frame(frame, quality=90)
+    decoded = decode_frame(encoded)
+    assert psnr(frame, decoded) > 30
+
+
+def test_compression_actually_compresses():
+    frame = synthetic_clip(128, 64, 1, seed=6, detail=0.2)[0]
+    encoded = encode_frame(frame, quality=75)
+    assert encoded.nbytes < frame.nbytes / 2
+
+
+def test_lower_quality_smaller_output():
+    frame = synthetic_clip(64, 64, 1, seed=7, detail=0.5)[0]
+    hi = encode_frame(frame, quality=90).nbytes
+    lo = encode_frame(frame, quality=30).nbytes
+    assert lo < hi
+
+
+def test_pack_unpack_roundtrip():
+    frame = synthetic_clip(32, 32, 1, seed=8)[0]
+    encoded = encode_frame(frame, quality=80)
+    packed = encoded.pack()
+    assert isinstance(packed, bytes)
+    unpacked = EncodedFrame.unpack(packed)
+    assert decode_frame(unpacked) == decode_frame(encoded)
+
+
+def test_unpack_rejects_garbage():
+    with pytest.raises(CodecError, match="magic"):
+        EncodedFrame.unpack(b"not a jpeg at all")
+
+
+def test_entropy_stage_exposes_coefficients():
+    frame = synthetic_clip(32, 32, 1, seed=9)[0]
+    coeffs = entropy_decode_frame(encode_frame(frame))
+    assert set(coeffs) == {"y", "u", "v"}
+    assert coeffs["y"].blocks.shape == (16, 8, 8)
+    assert coeffs["u"].blocks.shape == (4, 8, 8)
+
+
+def test_idct_sliced_equals_whole():
+    frame = synthetic_clip(64, 64, 1, seed=10)[0]
+    coeffs = entropy_decode_frame(encode_frame(frame))["y"]
+    whole = idct_plane(coeffs)
+    out = np.zeros_like(whole)
+    for i in range(4):
+        idct_plane(coeffs, rows=(i * 16, (i + 1) * 16), out=out)
+    assert np.array_equal(out, whole)
+
+
+def test_idct_rejects_unaligned_slice():
+    frame = synthetic_clip(32, 32, 1)[0]
+    coeffs = entropy_decode_frame(encode_frame(frame))["y"]
+    with pytest.raises(CodecError, match="block-aligned"):
+        idct_plane(coeffs, rows=(3, 19))
+
+
+def test_plane_indivisible_by_8_rejected():
+    with pytest.raises(CodecError, match="divisible"):
+        encode_plane(np.zeros((20, 20), dtype=np.uint8), LUMA_QTABLE)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.sampled_from([50, 75, 95]))
+def test_prop_roundtrip_error_bounded_by_quality(seed, quality):
+    rng = np.random.default_rng(seed)
+    plane = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+    q = scale_qtable(LUMA_QTABLE, quality)
+    decoded = idct_plane(entropy_decode_plane(encode_plane(plane, q)))
+    # error bounded by half the largest quantization step (plus rounding)
+    assert np.abs(decoded.astype(int) - plane.astype(int)).max() <= q.max()

@@ -1,0 +1,32 @@
+"""Shared fixtures for XSPCL core tests: a tiny synthetic registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ports import PortSpec
+
+
+@pytest.fixture()
+def registry() -> dict[str, PortSpec]:
+    """Component classes used by core-language tests.
+
+    Deliberately synthetic (not the video components) so language tests
+    do not depend on the component library.
+    """
+    return {
+        "source": PortSpec(outputs=("output",), optional_params=("rate", "period", "queue", "event")),
+        "sink": PortSpec(inputs=("input",), optional_params=("expect",)),
+        "filter": PortSpec(
+            inputs=("input",),
+            outputs=("output",),
+            optional_params=("factor", "queue", "mode"),
+        ),
+        "merge": PortSpec(inputs=("a", "b"), outputs=("output",)),
+        "split": PortSpec(inputs=("input",), outputs=("a", "b")),
+        "strict": PortSpec(
+            inputs=("input",),
+            outputs=("output",),
+            required_params=("gain",),
+        ),
+    }

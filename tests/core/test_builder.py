@@ -1,0 +1,110 @@
+"""Tests for the fluent builder's error handling and structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AppBuilder
+from repro.core.ast import CallNode, ManagerNode, OptionNode, ParallelNode
+from repro.errors import XSPCLError
+
+
+def test_duplicate_procedure_rejected():
+    b = AppBuilder()
+    b.procedure("main")
+    with pytest.raises(XSPCLError, match="duplicate procedure"):
+        b.procedure("main")
+
+
+def test_statement_inside_task_parallel_requires_parblock():
+    b = AppBuilder()
+    main = b.procedure("main")
+    with pytest.raises(XSPCLError, match="parblock"):
+        with main.parallel("task"):
+            main.component("x", "source", streams={"output": "s"})
+
+
+def test_parblock_outside_parallel_rejected():
+    b = AppBuilder()
+    main = b.procedure("main")
+    with pytest.raises(XSPCLError, match="only valid directly inside"):
+        with main.parblock():
+            pass
+
+
+def test_slice_parallel_has_implicit_parblock():
+    b = AppBuilder()
+    main = b.procedure("main")
+    with main.parallel("slice", n=4):
+        main.component("x", "source", streams={"output": "s"})
+    spec = b.build()
+    par = spec.main.body[0]
+    assert isinstance(par, ParallelNode)
+    assert par.shape == "slice"
+    assert len(par.parblocks) == 1
+    assert len(par.parblocks[0]) == 1
+
+
+def test_unclosed_blocks_detected_at_build():
+    b = AppBuilder()
+    main = b.procedure("main")
+    cm = main.parallel("slice", n=2)
+    cm.__enter__()  # never exited
+    with pytest.raises(XSPCLError, match="unbalanced"):
+        b.build()
+
+
+def test_call_defaults_name_to_procedure():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.call("chain", streams={"in": "x"})
+    node = b.build().main.body[0]
+    assert isinstance(node, CallNode)
+    assert node.name == "chain"
+
+
+def test_manager_handle_is_chainable():
+    b = AppBuilder()
+    main = b.procedure("main")
+    with main.manager("m", queue="q") as mgr:
+        mgr.on("a", "toggle", option="o").on("b", "forward", target="t")
+        with main.option("o"):
+            main.component("x", "source", streams={"output": "s"})
+    node = b.build().main.body[0]
+    assert isinstance(node, ManagerNode)
+    assert [h.event for h in node.handlers] == ["a", "b"]
+    assert isinstance(node.body[0], OptionNode)
+
+
+def test_param_formals_mapping_and_sequence():
+    b = AppBuilder()
+    p1 = b.procedure("p1", param_formals={"a": 1, "b": None})
+    p1.component("x", "source", streams={"output": "s"})
+    p2 = b.procedure("p2", param_formals=["c"])
+    p2.component("y", "source", streams={"output": "t"})
+    b.procedure("main")
+    spec = b.build()
+    assert [(f.name, f.default) for f in spec.procedures["p1"].param_formals] \
+        == [("a", 1), ("b", None)]
+    assert [(f.name, f.default) for f in spec.procedures["p2"].param_formals] \
+        == [("c", None)]
+
+
+def test_nested_structures_compose():
+    b = AppBuilder()
+    main = b.procedure("main")
+    with main.parallel("task"):
+        with main.parblock():
+            with main.parallel("slice", n=2):
+                main.component("a", "f", streams={})
+        with main.parblock():
+            with main.manager("m", queue="q"):
+                with main.option("o"):
+                    main.component("b", "f", streams={})
+    spec = b.build()
+    outer = spec.main.body[0]
+    assert isinstance(outer, ParallelNode)
+    inner_slice = outer.parblocks[0][0]
+    assert isinstance(inner_slice, ParallelNode) and inner_slice.shape == "slice"
+    inner_mgr = outer.parblocks[1][0]
+    assert isinstance(inner_mgr, ManagerNode)

@@ -1,0 +1,147 @@
+"""Additional expander edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AppBuilder, expand
+from repro.core.program import IRCrossdep, iter_ir
+from repro.errors import ExpansionError
+
+
+def test_slice_n_one_single_copy(registry):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "a"})
+    with main.parallel("slice", n=1):
+        main.component("f", "filter", streams={"input": "a", "output": "b"})
+    main.component("snk", "sink", streams={"input": "b"})
+    prog = expand(b.build(), registry)
+    assert "f[0]" in prog.components
+    assert prog.components["f[0]"].slice == (0, 1)
+
+
+def test_crossdep_three_parblocks(registry):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "s0"})
+    with main.parallel("crossdep", n=3):
+        for stage in range(3):
+            with main.parblock():
+                main.component(f"p{stage}", "filter",
+                               streams={"input": f"s{stage}",
+                                        "output": f"s{stage+1}"})
+    main.component("snk", "sink", streams={"input": "s3"})
+    prog = expand(b.build(), registry)
+    cd = next(n for n in iter_ir(prog.root) if isinstance(n, IRCrossdep))
+    assert len(cd.parblocks) == 3
+    pg = prog.build_graph()
+    # chained crossdep edges: p1[i] <- p0[i-1..i+1], p2[i] <- p1[i-1..i+1]
+    assert pg.graph.has_edge("p0[0]", "p1[1]")
+    assert pg.graph.has_edge("p1[2]", "p2[1]")
+    assert not pg.graph.has_edge("p0[0]", "p2[0]")
+
+
+def test_parblock_with_series_inside_crossdep(registry):
+    """Copies are whole-parblock units: series content replicates as one."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "raw"})
+    with main.parallel("crossdep", n=2):
+        with main.parblock():
+            main.component("a", "filter", streams={"input": "raw", "output": "m"})
+            main.component("b", "filter", streams={"input": "m", "output": "n"})
+        with main.parblock():
+            main.component("c", "filter", streams={"input": "n", "output": "out"})
+    main.component("snk", "sink", streams={"input": "out"})
+    prog = expand(b.build(), registry)
+    pg = prog.build_graph()
+    # within copy i: a[i] -> b[i]; crossdep: c[i] <- sinks of copies i-1..i+1
+    assert pg.graph.has_edge("a[0]", "b[0]")
+    assert pg.graph.has_edge("b[0]", "c[0]")
+    assert pg.graph.has_edge("b[1]", "c[0]")
+    assert not pg.graph.has_edge("a[0]", "c[0]")
+
+
+def test_parametric_n_float_rejected(registry):
+    b = AppBuilder()
+    b.procedure("main").call("p", streams={"out": "s"}, params={"n": 2.5})
+    p = b.procedure("p", stream_formals=["out"], param_formals={"n": None})
+    with p.parallel("slice", n="${n}"):
+        p.component("src", "source", streams={"output": "${out}"})
+    with pytest.raises(ExpansionError, match="integer"):
+        expand(b.build(), registry)
+
+
+def test_parametric_n_zero_rejected(registry):
+    b = AppBuilder()
+    b.procedure("main").call("p", streams={"out": "s"}, params={"n": 0})
+    p = b.procedure("p", stream_formals=["out"], param_formals={"n": None})
+    with p.parallel("slice", n="${n}"):
+        p.component("src", "source", streams={"output": "${out}"})
+    with pytest.raises(ExpansionError, match=">= 1"):
+        expand(b.build(), registry)
+
+
+def test_bool_param_substitution_roundtrips(registry):
+    b = AppBuilder()
+    b.procedure("main").call("p", streams={"out": "s"}, params={"flag": True})
+    p = b.procedure("p", stream_formals=["out"], param_formals={"flag": None})
+    p.component("src", "source", streams={"output": "${out}"},
+                params={"rate": "${flag}"})
+    prog = expand(b.build(), registry)
+    assert prog.components["p/src"].params["rate"] is True
+
+
+def test_nested_calls_three_deep(registry):
+    b = AppBuilder()
+    b.procedure("main").call("outer", streams={"out": "final"})
+    outer = b.procedure("outer", stream_formals=["out"])
+    outer.call("middle", streams={"out": "${out}"})
+    middle = b.procedure("middle", stream_formals=["out"])
+    middle.call("inner", streams={"out": "${out}"})
+    inner = b.procedure("inner", stream_formals=["out"])
+    inner.component("src", "source", streams={"output": "${out}"})
+    prog = expand(b.build(), registry)
+    assert set(prog.components) == {"outer/middle/inner/src"}
+    assert prog.components["outer/middle/inner/src"].streams["output"] == "final"
+
+
+def test_same_procedure_slice_counts_differ_per_call(registry):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "raw"})
+    main.call("stage", name="s1", streams={"i": "raw", "o": "mid"},
+              params={"n": 2})
+    main.call("stage", name="s2", streams={"i": "mid", "o": "out"},
+              params={"n": 3})
+    main.component("snk", "sink", streams={"input": "out"})
+    stage = b.procedure("stage", stream_formals=["i", "o"],
+                        param_formals={"n": None})
+    with stage.parallel("slice", n="${n}"):
+        stage.component("f", "filter", streams={"input": "${i}",
+                                                "output": "${o}"})
+    prog = expand(b.build(), registry)
+    assert len([c for c in prog.components if c.startswith("s1/")]) == 2
+    assert len([c for c in prog.components if c.startswith("s2/")]) == 3
+
+
+def test_option_nested_inside_option(registry):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "a"})
+    main.component("snk", "sink", streams={"input": "a"})
+    with main.manager("m", queue="q") as mgr:
+        mgr.on("e1", "toggle", option="outer")
+        mgr.on("e2", "toggle", option="inner")
+        with main.option("outer", enabled=False):
+            main.component("f1", "filter", streams={"input": "a", "output": "b"})
+            with main.option("inner", enabled=False):
+                main.component("f2", "filter", streams={"input": "b", "output": "c"})
+    prog = expand(b.build(), registry)
+    assert prog.components["f2"].options == ("outer", "inner")
+    # inner enabled but outer disabled: f2 still absent
+    pg = prog.build_graph({"inner": True})
+    assert "f2" not in pg.graph
+    pg2 = prog.build_graph({"outer": True, "inner": True})
+    assert "f2" in pg2.graph

@@ -1,0 +1,264 @@
+"""Tests for the XSPCL XML parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parse_string
+from repro.core.ast import CallNode, ComponentNode, ManagerNode, OptionNode, ParallelNode
+from repro.core.parser import parse_value
+from repro.errors import ParseError
+
+
+MINIMAL = """
+<xspcl version="1.0">
+  <procedure name="main">
+    <body>
+      <component name="src" class="source">
+        <stream port="output" ref="data"/>
+      </component>
+      <component name="snk" class="sink">
+        <stream port="input" ref="data"/>
+      </component>
+    </body>
+  </procedure>
+</xspcl>
+"""
+
+
+def test_parse_minimal():
+    spec = parse_string(MINIMAL)
+    assert spec.version == "1.0"
+    assert set(spec.procedures) == {"main"}
+    body = spec.main.body
+    assert len(body) == 2
+    assert isinstance(body[0], ComponentNode)
+    assert body[0].name == "src"
+    assert body[0].class_name == "source"
+    assert body[0].streams == {"output": "data"}
+
+
+def test_parse_value_typing():
+    assert parse_value("3") == 3
+    assert parse_value("3.5") == 3.5
+    assert parse_value("true") is True
+    assert parse_value("False") is False
+    assert parse_value("hello") == "hello"
+    assert parse_value("${x}") == "${x}"  # placeholders stay strings
+    assert parse_value("12${x}") == "12${x}"
+
+
+def test_component_params_and_reconfigure():
+    spec = parse_string(
+        """
+        <xspcl><procedure name="main"><body>
+          <component name="f" class="filter">
+            <stream port="input" ref="a"/>
+            <stream port="output" ref="b"/>
+            <param name="factor" value="3"/>
+            <reconfigure request="pos=1,2"/>
+          </component>
+        </body></procedure></xspcl>
+        """
+    )
+    comp = spec.main.body[0]
+    assert isinstance(comp, ComponentNode)
+    assert comp.params == {"factor": 3}
+    assert comp.reconfigure == "pos=1,2"
+
+
+def test_procedure_formals_and_call():
+    spec = parse_string(
+        """
+        <xspcl>
+          <procedure name="main"><body>
+            <call procedure="chain" name="c1">
+              <stream name="in" ref="raw"/>
+              <param name="factor" value="4"/>
+            </call>
+          </body></procedure>
+          <procedure name="chain">
+            <params>
+              <stream name="in"/>
+              <param name="factor" default="2"/>
+            </params>
+            <body>
+              <component name="f" class="filter">
+                <stream port="input" ref="${in}"/>
+                <stream port="output" ref="out"/>
+                <param name="factor" value="${factor}"/>
+              </component>
+            </body>
+          </procedure>
+        </xspcl>
+        """
+    )
+    call = spec.main.body[0]
+    assert isinstance(call, CallNode)
+    assert call.procedure == "chain"
+    assert call.streams == {"in": "raw"}
+    assert call.params == {"factor": 4}
+    chain = spec.procedures["chain"]
+    assert chain.formal_stream_names() == {"in"}
+    assert [f.default for f in chain.param_formals] == [2]
+
+
+def test_parallel_shapes():
+    spec = parse_string(
+        """
+        <xspcl><procedure name="main"><body>
+          <parallel shape="task">
+            <parblock><component name="a" class="source">
+              <stream port="output" ref="s1"/></component></parblock>
+            <parblock><component name="b" class="source">
+              <stream port="output" ref="s2"/></component></parblock>
+          </parallel>
+          <parallel shape="slice" n="8">
+            <parblock><component name="c" class="filter">
+              <stream port="input" ref="s1"/>
+              <stream port="output" ref="s3"/></component></parblock>
+          </parallel>
+        </body></procedure></xspcl>
+        """
+    )
+    task, sl = spec.main.body
+    assert isinstance(task, ParallelNode) and task.shape == "task"
+    assert len(task.parblocks) == 2
+    assert isinstance(sl, ParallelNode) and sl.shape == "slice" and sl.n == 8
+
+
+def test_manager_and_option():
+    spec = parse_string(
+        """
+        <xspcl><procedure name="main"><body>
+          <manager name="m" queue="ui">
+            <on event="pip2" action="toggle" option="o"/>
+            <on event="quit" action="forward" target="mainq"/>
+            <on event="move" action="reconfigure" request="pos=0,0"/>
+            <body>
+              <option name="o" enabled="false">
+                <bypass from="mid" to="out"/>
+                <component name="x" class="filter">
+                  <stream port="input" ref="mid"/>
+                  <stream port="output" ref="out"/>
+                </component>
+              </option>
+            </body>
+          </manager>
+        </body></procedure></xspcl>
+        """
+    )
+    mgr = spec.main.body[0]
+    assert isinstance(mgr, ManagerNode)
+    assert mgr.queue == "ui"
+    assert [h.action for h in mgr.handlers] == ["toggle", "forward", "reconfigure"]
+    opt = mgr.body[0]
+    assert isinstance(opt, OptionNode)
+    assert opt.enabled is False
+    assert opt.bypasses[0].src == "mid"
+    assert opt.bypasses[0].dst == "out"
+
+
+# -- error cases -------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "xml, match",
+    [
+        ("<nope/>", "root element"),
+        ("<xspcl><weird/></xspcl>", "unexpected tag"),
+        (
+            "<xspcl><procedure name='p'/></xspcl>",
+            "no <body>",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<component name='c' class='x'><bogus/></component>"
+            "</body></procedure></xspcl>",
+            "unexpected tag",
+        ),
+        (
+            "<xspcl><procedure name='p'><body><component class='x' name='c'>"
+            "<stream port='p' ref='s'/><stream port='p' ref='t'/>"
+            "</component></body></procedure></xspcl>",
+            "duplicate stream binding",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<parallel shape='bogus'><parblock/></parallel>"
+            "</body></procedure></xspcl>",
+            "unknown parallel shape",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<parallel shape='slice'><parblock/></parallel>"
+            "</body></procedure></xspcl>",
+            "requires attribute n",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<parallel shape='slice' n='2'><parblock/><parblock/></parallel>"
+            "</body></procedure></xspcl>",
+            "exactly one",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<parallel shape='task' n='2'><parblock/></parallel>"
+            "</body></procedure></xspcl>",
+            "does not take attribute n",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<manager name='m' queue='q'><on event='e' action='toggle'/>"
+            "<body/></manager></body></procedure></xspcl>",
+            "requires attribute option",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<manager name='m' queue='q'><on event='e' action='forward'/>"
+            "<body/></manager></body></procedure></xspcl>",
+            "requires attribute target",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<manager name='m' queue='q'/></body></procedure></xspcl>",
+            "requires a <body>",
+        ),
+        (
+            "<xspcl><procedure name='p'><body>"
+            "<component name='c'/></body></procedure></xspcl>",
+            "missing required attribute 'class'",
+        ),
+        (
+            "<xspcl><procedure name='a'><body/></procedure>"
+            "<procedure name='a'><body/></procedure></xspcl>",
+            "duplicate procedure",
+        ),
+    ],
+)
+def test_parse_errors(xml, match):
+    with pytest.raises(ParseError, match=match):
+        parse_string(xml)
+
+
+def test_malformed_xml_reports_line():
+    with pytest.raises(ParseError, match="malformed XML"):
+        parse_string("<xspcl>\n<procedure\n</xspcl>")
+
+
+def test_error_carries_line_number():
+    xml = "<xspcl>\n  <procedure name='p'>\n    <body>\n      <weird/>\n    </body>\n  </procedure>\n</xspcl>"
+    with pytest.raises(ParseError, match="line 4"):
+        parse_string(xml)
+
+
+def test_empty_parblock_parses_but_is_for_validator():
+    # The parser accepts an empty parblock; the validator rejects it.
+    spec = parse_string(
+        "<xspcl><procedure name='main'><body>"
+        "<parallel shape='task'><parblock/></parblock-typo>"
+        "</body></procedure></xspcl>".replace("</parblock-typo>", "</parallel>")
+    )
+    par = spec.main.body[0]
+    assert isinstance(par, ParallelNode)
+    assert par.parblocks == ((),)

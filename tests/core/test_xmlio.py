@@ -1,0 +1,185 @@
+"""Round-trip tests: builder -> XML -> parser -> same AST."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core import AppBuilder, parse_string, spec_to_xml
+from repro.core.ast import (
+    Bypass,
+    CallNode,
+    ComponentNode,
+    EventHandler,
+    ManagerNode,
+    OptionNode,
+    ParallelNode,
+    ParamFormal,
+    Procedure,
+    Spec,
+    StreamFormal,
+)
+
+
+def test_roundtrip_minimal():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "data"}, params={"rate": 30})
+    main.component("snk", "sink", streams={"input": "data"})
+    spec = b.build()
+    assert parse_string(spec_to_xml(spec)) == spec
+
+
+def test_roundtrip_full_feature_set():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "source", streams={"output": "raw"},
+                   params={"f": 1.5, "flag": True, "s": "text"},
+                   reconfigure="init=1")
+    main.call("chain", name="c1", streams={"in": "raw"}, params={"n": 4})
+    with main.parallel("task"):
+        with main.parblock():
+            main.component("a", "filter", streams={"input": "c1/out", "output": "x"})
+        with main.parblock():
+            main.component("b", "filter", streams={"input": "c1/out", "output": "y"})
+    with main.manager("m", queue="ui") as mgr:
+        mgr.on("e1", "toggle", option="o")
+        mgr.on("e2", "forward", target="other")
+        mgr.on("e3", "reconfigure", request="r=1")
+        main.component("f", "merge", streams={"a": "x", "b": "y", "output": "z"})
+        with main.option("o", enabled=False, bypass=[("z", "w")]):
+            main.component("g", "filter", streams={"input": "z", "output": "w"})
+    main.component("snk", "sink", streams={"input": "w"})
+    chain = b.procedure("chain", stream_formals=["in"], param_formals={"n": 2})
+    with chain.parallel("slice", n="${n}"):
+        chain.component("f", "filter", streams={"input": "${in}", "output": "out"})
+    spec = b.build()
+    assert parse_string(spec_to_xml(spec)) == spec
+
+
+def test_xml_output_is_readable():
+    b = AppBuilder()
+    b.procedure("main").component("x", "source", streams={"output": "s"})
+    xml = spec_to_xml(b.build())
+    assert "<xspcl" in xml
+    assert '<component name="x" class="source">' in xml
+    assert xml.count("\n") > 3  # pretty-printed
+
+
+def test_compact_output():
+    b = AppBuilder()
+    b.procedure("main").component("x", "source", streams={"output": "s"})
+    xml = spec_to_xml(b.build(), pretty=False)
+    assert "\n" not in xml.strip()
+    assert parse_string(xml) == b.build()
+
+
+# -- property: random spec round-trips ---------------------------------------
+
+_names = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True)
+_values = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.from_regex(r"[a-zA-Z][a-zA-Z0-9_,=.-]{0,10}", fullmatch=True),
+)
+
+
+@st.composite
+def components(draw, suffix: str):
+    name = draw(_names) + suffix
+    n_streams = draw(st.integers(0, 3))
+    streams = {
+        f"p{i}": draw(_names) for i in range(n_streams)
+    }
+    n_params = draw(st.integers(0, 3))
+    params = {f"k{i}": draw(_values) for i in range(n_params)}
+    return ComponentNode(
+        name=name,
+        class_name=draw(_names),
+        streams=streams,
+        params=params,
+        reconfigure=draw(st.one_of(st.none(), _names)),
+    )
+
+
+@st.composite
+def bodies(draw, depth: int = 0):
+    nodes = []
+    n = draw(st.integers(1, 3))
+    for i in range(n):
+        kind = draw(st.sampled_from(
+            ["component"] if depth >= 2 else ["component", "parallel", "manager"]
+        ))
+        if kind == "component":
+            nodes.append(draw(components(suffix=f"_{depth}{i}")))
+        elif kind == "parallel":
+            shape = draw(st.sampled_from(["task", "slice", "crossdep"]))
+            if shape == "slice":
+                pbs = (tuple(draw(bodies(depth + 1))),)
+            else:
+                pbs = tuple(
+                    tuple(draw(bodies(depth + 1)))
+                    for _ in range(draw(st.integers(1, 2)))
+                )
+            nodes.append(
+                ParallelNode(
+                    shape=shape,
+                    parblocks=pbs,
+                    n=draw(st.integers(1, 4)) if shape != "task" else None,
+                )
+            )
+        else:
+            opt_name = draw(_names) + f"_o{depth}{i}"
+            option = OptionNode(
+                name=opt_name,
+                body=tuple(draw(bodies(depth + 1))),
+                enabled=draw(st.booleans()),
+                bypasses=tuple(
+                    Bypass(draw(_names), draw(_names))
+                    for _ in range(draw(st.integers(0, 2)))
+                ),
+            )
+            handlers = (
+                EventHandler(event=draw(_names), action="toggle", option=opt_name),
+                EventHandler(event=draw(_names), action="forward",
+                             target=draw(_names)),
+            )
+            nodes.append(
+                ManagerNode(
+                    name=draw(_names) + f"_m{depth}{i}",
+                    queue=draw(_names),
+                    handlers=handlers,
+                    body=(option,),
+                )
+            )
+    return tuple(nodes)
+
+
+@st.composite
+def specs(draw):
+    main = Procedure(name="main", body=draw(bodies()))
+    procs = {"main": main}
+    if draw(st.booleans()):
+        sub_body = draw(bodies())
+        sub = Procedure(
+            name="sub",
+            body=sub_body
+            + (
+                CallNode(procedure="main2", name="unused_call")
+                if False
+                else ()
+            ),
+            stream_formals=(StreamFormal("in"),),
+            param_formals=(ParamFormal("n", default=draw(st.integers(1, 9))),),
+        )
+        procs["sub"] = sub
+    return Spec(procedures=procs)
+
+
+@given(specs())
+def test_prop_roundtrip(spec):
+    assert parse_string(spec_to_xml(spec)) == spec
+
+
+@given(specs())
+def test_prop_roundtrip_compact(spec):
+    assert parse_string(spec_to_xml(spec, pretty=False)) == spec

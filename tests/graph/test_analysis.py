@@ -1,0 +1,198 @@
+"""Tests for SP recognition, SP-ization, and critical path."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NotSeriesParallelError
+from repro.graph import (
+    Leaf,
+    TaskGraph,
+    critical_path,
+    is_series_parallel,
+    parallel,
+    series,
+    sp_ize,
+)
+from repro.graph.analysis import require_series_parallel, topological_levels
+
+from tests.graph.test_spc import sp_trees
+
+
+def crossdep_graph(n_slices: int = 4) -> TaskGraph:
+    """Two sliced parblocks with i-1/i/i+1 cross dependencies (paper Fig 5)."""
+    g = TaskGraph()
+    for i in range(n_slices):
+        g.add_node(f"h{i}")
+        g.add_node(f"v{i}")
+    for i in range(n_slices):
+        for j in (i - 1, i, i + 1):
+            if 0 <= j < n_slices:
+                g.add_edge(f"h{j}", f"v{i}")
+    return g
+
+
+def test_single_node_is_sp():
+    g = TaskGraph()
+    g.add_node("a")
+    assert is_series_parallel(g)
+
+
+def test_empty_graph_is_sp():
+    assert is_series_parallel(TaskGraph())
+
+
+def test_chain_is_sp():
+    g = TaskGraph.from_sp(series(Leaf("a"), Leaf("b"), Leaf("c")))
+    assert is_series_parallel(g)
+
+
+def test_diamond_is_sp():
+    g = TaskGraph.from_sp(series(Leaf("s"), parallel(Leaf("a"), Leaf("b")), Leaf("t")))
+    assert is_series_parallel(g)
+
+
+def test_crossdep_is_not_sp():
+    g = crossdep_graph(4)
+    assert not is_series_parallel(g)
+
+
+def test_n_graph_is_not_sp():
+    # The canonical non-SP "N" shape: a->c, a->d, b->d
+    g = TaskGraph()
+    for n in "abcd":
+        g.add_node(n)
+    g.add_edge("a", "c")
+    g.add_edge("a", "d")
+    g.add_edge("b", "d")
+    assert not is_series_parallel(g)
+
+
+def test_cyclic_graph_is_not_sp():
+    g = TaskGraph()
+    g.add_node("a")
+    g.add_node("b")
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    assert not is_series_parallel(g)
+
+
+def test_sp_ize_makes_crossdep_sp():
+    g = crossdep_graph(5)
+    sp = sp_ize(g)
+    assert is_series_parallel(sp)
+
+
+def test_sp_ize_preserves_dependencies_transitively():
+    g = crossdep_graph(3)
+    sp = sp_ize(g)
+    for u, v in g.edges():
+        assert v in sp.descendants(u), f"lost dependency {u}->{v}"
+
+
+def test_sp_ize_preserves_task_nodes():
+    g = crossdep_graph(3)
+    sp = sp_ize(g)
+    originals = {n.node_id for n in g}
+    kept = {n.node_id for n in sp if n.kind == "task"}
+    assert kept == originals
+
+
+def test_sp_ize_barriers_have_zero_weight():
+    sp = sp_ize(crossdep_graph(3))
+    for node in sp:
+        if node.kind == "barrier":
+            assert node.weight == 0.0
+
+
+def test_sp_ize_empty_graph():
+    assert len(sp_ize(TaskGraph())) == 0
+
+
+def test_topological_levels():
+    g = TaskGraph.from_sp(series(Leaf("a"), parallel(Leaf("b"), Leaf("c")), Leaf("d")))
+    levels = topological_levels(g)
+    assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+
+
+def test_require_series_parallel_raises():
+    with pytest.raises(NotSeriesParallelError):
+        require_series_parallel(crossdep_graph(3), context="blur")
+
+
+def test_require_series_parallel_passes():
+    require_series_parallel(TaskGraph.from_sp(series(Leaf("a"), Leaf("b"))))
+
+
+# -- critical path ----------------------------------------------------------
+
+
+def test_critical_path_chain():
+    g = TaskGraph()
+    g.add_node("a", weight=1.0)
+    g.add_node("b", weight=2.0)
+    g.add_node("c", weight=3.0)
+    g.add_edge("a", "b")
+    g.add_edge("b", "c")
+    length, path = critical_path(g)
+    assert length == 6.0
+    assert path == ["a", "b", "c"]
+
+
+def test_critical_path_picks_heavier_branch():
+    g = TaskGraph()
+    g.add_node("s", weight=1.0)
+    g.add_node("light", weight=1.0)
+    g.add_node("heavy", weight=10.0)
+    g.add_node("t", weight=1.0)
+    g.add_edge("s", "light")
+    g.add_edge("s", "heavy")
+    g.add_edge("light", "t")
+    g.add_edge("heavy", "t")
+    length, path = critical_path(g)
+    assert length == 12.0
+    assert path == ["s", "heavy", "t"]
+
+
+def test_critical_path_custom_weight_fn():
+    g = TaskGraph.from_sp(series(Leaf("a"), Leaf("b")))
+    length, _ = critical_path(g, weight=lambda nid: 5.0)
+    assert length == 10.0
+
+
+def test_critical_path_empty_graph():
+    assert critical_path(TaskGraph()) == (0.0, [])
+
+
+# -- properties --------------------------------------------------------------
+
+
+@given(sp_trees())
+def test_prop_lowered_sp_tree_is_recognized_sp(tree):
+    g = TaskGraph.from_sp(tree)
+    assert is_series_parallel(g)
+
+
+@given(sp_trees())
+def test_prop_sp_ize_idempotent_on_sp_structure(tree):
+    g = TaskGraph.from_sp(tree)
+    assert is_series_parallel(sp_ize(g))
+
+
+@given(sp_trees())
+def test_prop_critical_path_bounds(tree):
+    g = TaskGraph.from_sp(tree)
+    length, path = critical_path(g)
+    total = sum(n.weight for n in g)
+    assert 0 < length <= total
+    # path is a real path in the graph
+    for u, v in zip(path, path[1:]):
+        assert g.has_edge(u, v)
+
+
+@given(sp_trees())
+def test_prop_critical_path_equals_serial_length_for_unit_weights(tree):
+    g = TaskGraph.from_sp(tree)
+    length, _ = critical_path(g)
+    assert length == tree.serial_length()

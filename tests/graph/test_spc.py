@@ -1,0 +1,171 @@
+"""Unit and property tests for the SP composition algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError
+from repro.graph import Leaf, Parallel, Series, parallel, series
+
+
+def test_leaf_basics():
+    leaf = Leaf("scale", payload={"factor": 3}, weight=2.0)
+    assert leaf.label == "scale"
+    assert leaf.payload == {"factor": 3}
+    assert leaf.weight == 2.0
+    assert leaf.depth() == 1
+    assert leaf.width() == 1
+    assert leaf.serial_length() == 1
+    assert leaf.leaves() == [leaf]
+
+
+def test_leaf_rejects_empty_label():
+    with pytest.raises(GraphError):
+        Leaf("")
+
+
+def test_leaf_rejects_negative_weight():
+    with pytest.raises(GraphError):
+        Leaf("x", weight=-1.0)
+
+
+def test_series_flattens_nested_series():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    assert series(a, series(b, c)) == series(a, b, c)
+    assert series(series(a, b), c) == series(a, b, c)
+
+
+def test_parallel_flattens_nested_parallel():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    assert parallel(a, parallel(b, c)) == parallel(a, b, c)
+
+
+def test_singleton_composition_collapses():
+    a = Leaf("a")
+    assert series(a) is a
+    assert parallel(a) is a
+
+
+def test_mixed_nesting_is_preserved():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    tree = series(a, parallel(b, c))
+    assert isinstance(tree, Series)
+    assert isinstance(tree.children[1], Parallel)
+    assert tree != series(a, b, c)
+
+
+def test_operator_sugar():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    assert (a >> b) == series(a, b)
+    assert (a | b) == parallel(a, b)
+    assert (a >> b >> c) == series(a, b, c)
+    assert (a | b | c) == parallel(a, b, c)
+
+
+def test_width_and_serial_length():
+    a, b, c, d = (Leaf(x) for x in "abcd")
+    tree = series(a, parallel(b, series(c, d)))
+    assert tree.width() == 2
+    assert tree.serial_length() == 3  # a; then (c; d) branch
+
+
+def test_leaves_in_series_order():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    tree = series(a, parallel(b, c))
+    assert [leaf.label for leaf in tree.leaves()] == ["a", "b", "c"]
+
+
+def test_map_leaves_replaces_structure():
+    a, b = Leaf("a"), Leaf("b")
+    tree = series(a, b)
+    expanded = tree.map_leaves(lambda leaf: parallel(Leaf(leaf.label + "0"), Leaf(leaf.label + "1")))
+    assert expanded == series(parallel(Leaf("a0"), Leaf("a1")), parallel(Leaf("b0"), Leaf("b1")))
+
+
+def test_map_leaves_identity_preserves_equality():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    tree = series(a, parallel(b, c))
+    assert tree.map_leaves(lambda leaf: leaf) == tree
+
+
+def test_composite_requires_children():
+    with pytest.raises(GraphError):
+        Series(())
+    with pytest.raises(GraphError):
+        Parallel(())
+
+
+def test_series_rejects_non_spnode():
+    with pytest.raises(GraphError):
+        series(Leaf("a"), "not a node")  # type: ignore[arg-type]
+
+
+def test_preorder_iteration():
+    a, b, c = Leaf("a"), Leaf("b"), Leaf("c")
+    tree = series(a, parallel(b, c))
+    kinds = [type(n).__name__ for n in tree]
+    assert kinds == ["Series", "Leaf", "Parallel", "Leaf", "Leaf"]
+
+
+def test_equality_distinguishes_series_from_parallel():
+    a, b = Leaf("a"), Leaf("b")
+    assert series(a, b) != parallel(a, b)
+
+
+def test_hash_consistent_with_equality():
+    a, b = Leaf("a"), Leaf("b")
+    assert hash(series(a, b)) == hash(series(Leaf("a"), Leaf("b")))
+
+
+# ---------------------------------------------------------------------------
+# Property tests: random SP trees
+# ---------------------------------------------------------------------------
+
+_labels = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+
+
+def sp_trees(max_depth: int = 4):
+    return st.recursive(
+        _labels.map(Leaf),
+        lambda inner: st.one_of(
+            st.lists(inner, min_size=2, max_size=3).map(lambda cs: series(*cs)),
+            st.lists(inner, min_size=2, max_size=3).map(lambda cs: parallel(*cs)),
+        ),
+        max_leaves=12,
+    )
+
+
+@given(sp_trees())
+def test_prop_width_le_leaf_count(tree):
+    assert 1 <= tree.width() <= len(tree.leaves())
+
+
+@given(sp_trees())
+def test_prop_serial_length_le_leaf_count(tree):
+    assert 1 <= tree.serial_length() <= len(tree.leaves())
+
+
+@given(sp_trees())
+def test_prop_width_times_serial_bounds_leaves(tree):
+    # Every leaf lies on some series chain inside some parallel branch.
+    assert len(tree.leaves()) <= tree.width() * tree.serial_length()
+
+
+@given(sp_trees())
+def test_prop_no_directly_nested_same_kind(tree):
+    for node in tree:
+        if isinstance(node, (Series, Parallel)):
+            for child in node.children:
+                assert type(child) is not type(node), "composition must flatten"
+
+
+@given(sp_trees())
+def test_prop_map_leaves_identity(tree):
+    assert tree.map_leaves(lambda leaf: leaf) == tree
+
+
+@given(sp_trees())
+def test_prop_equality_reflexive_and_hashable(tree):
+    assert tree == tree
+    hash(tree)  # must not raise

@@ -1,0 +1,210 @@
+"""Unit tests for the flat task graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import Leaf, TaskGraph, parallel, series
+
+
+def diamond() -> TaskGraph:
+    g = TaskGraph()
+    for n in "abcd":
+        g.add_node(n)
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "d")
+    g.add_edge("c", "d")
+    return g
+
+
+def test_add_node_and_lookup():
+    g = TaskGraph()
+    node = g.add_node("x", label="X", weight=2.5)
+    assert g.node("x") is node
+    assert "x" in g
+    assert len(g) == 1
+    assert node.label == "X"
+    assert node.weight == 2.5
+
+
+def test_duplicate_node_rejected():
+    g = TaskGraph()
+    g.add_node("x")
+    with pytest.raises(GraphError):
+        g.add_node("x")
+
+
+def test_edge_endpoints_must_exist():
+    g = TaskGraph()
+    g.add_node("x")
+    with pytest.raises(GraphError):
+        g.add_edge("x", "y")
+    with pytest.raises(GraphError):
+        g.add_edge("y", "x")
+
+
+def test_self_loop_rejected():
+    g = TaskGraph()
+    g.add_node("x")
+    with pytest.raises(GraphError):
+        g.add_edge("x", "x")
+
+
+def test_duplicate_edge_is_idempotent():
+    g = TaskGraph()
+    g.add_node("a")
+    g.add_node("b")
+    g.add_edge("a", "b")
+    g.add_edge("a", "b")
+    assert g.num_edges == 1
+    assert g.successors("a") == ["b"]
+
+
+def test_sources_sinks_degrees():
+    g = diamond()
+    assert g.sources() == ["a"]
+    assert g.sinks() == ["d"]
+    assert g.in_degree("d") == 2
+    assert g.out_degree("a") == 2
+
+
+def test_topological_order_respects_edges():
+    g = diamond()
+    order = g.topological_order()
+    pos = {n: i for i, n in enumerate(order)}
+    for u, v in g.edges():
+        assert pos[u] < pos[v]
+
+
+def test_cycle_detection():
+    g = TaskGraph()
+    for n in "ab":
+        g.add_node(n)
+    g.add_edge("a", "b")
+    g.add_edge("b", "a")
+    assert not g.is_acyclic()
+    with pytest.raises(GraphError, match="cycle"):
+        g.topological_order()
+
+
+def test_ancestors_descendants():
+    g = diamond()
+    assert g.ancestors("d") == {"a", "b", "c"}
+    assert g.descendants("a") == {"b", "c", "d"}
+    assert g.ancestors("a") == set()
+    assert g.descendants("d") == set()
+
+
+def test_remove_node_cleans_edges():
+    g = diamond()
+    g.remove_node("b")
+    assert "b" not in g
+    assert g.successors("a") == ["c"]
+    assert g.predecessors("d") == ["c"]
+    assert g.num_edges == 2
+
+
+def test_copy_is_deep_structurally():
+    g = diamond()
+    dup = g.copy()
+    dup.add_node("e")
+    dup.add_edge("d", "e")
+    assert "e" not in g
+    assert g.num_edges == 4
+    assert dup.num_edges == 5
+
+
+def test_subgraph_induced():
+    g = diamond()
+    sub = g.subgraph(["a", "b", "d"])
+    assert set(sub.node_ids) == {"a", "b", "d"}
+    assert sub.has_edge("a", "b")
+    assert sub.has_edge("b", "d")
+    assert not sub.has_edge("a", "d")
+
+
+def test_subgraph_unknown_node_rejected():
+    g = diamond()
+    with pytest.raises(GraphError):
+        g.subgraph(["a", "zz"])
+
+
+def test_node_kind_validation():
+    g = TaskGraph()
+    with pytest.raises(GraphError):
+        g.add_node("x", kind="bogus")
+    barrier = g.add_node("b", kind="barrier")
+    assert barrier.is_synthetic
+
+
+# -- SP lowering -----------------------------------------------------------
+
+
+def test_from_sp_series_chain():
+    tree = series(Leaf("a"), Leaf("b"), Leaf("c"))
+    g = TaskGraph.from_sp(tree)
+    assert set(g.node_ids) == {"a", "b", "c"}
+    assert g.has_edge("a", "b")
+    assert g.has_edge("b", "c")
+    assert not g.has_edge("a", "c")
+
+
+def test_from_sp_parallel_is_disjoint():
+    tree = parallel(Leaf("a"), Leaf("b"))
+    g = TaskGraph.from_sp(tree)
+    assert g.num_edges == 0
+    assert sorted(g.sources()) == ["a", "b"]
+
+
+def test_from_sp_series_of_parallels_inserts_barrier():
+    # Plural-to-plural series junctions become a synchronization point,
+    # as the paper does for JPiP ("all Downscale and IDCT components must
+    # have finished" before Blend).
+    tree = series(parallel(Leaf("a"), Leaf("b")), parallel(Leaf("c"), Leaf("d")))
+    g = TaskGraph.from_sp(tree)
+    barriers = [n.node_id for n in g if n.kind == "barrier"]
+    assert len(barriers) == 1
+    (join,) = barriers
+    for u in ("a", "b"):
+        assert g.has_edge(u, join)
+    for v in ("c", "d"):
+        assert g.has_edge(join, v)
+    assert g.num_edges == 4
+    # dependencies preserved transitively
+    for u in ("a", "b"):
+        for v in ("c", "d"):
+            assert v in g.descendants(u)
+
+
+def test_from_sp_single_to_plural_needs_no_barrier():
+    tree = series(Leaf("src"), parallel(Leaf("a"), Leaf("b")), Leaf("snk"))
+    g = TaskGraph.from_sp(tree)
+    assert all(n.kind == "task" for n in g)
+    assert g.has_edge("src", "a")
+    assert g.has_edge("src", "b")
+    assert g.has_edge("a", "snk")
+    assert g.has_edge("b", "snk")
+
+
+def test_from_sp_duplicate_labels_get_suffixes():
+    tree = series(Leaf("f"), Leaf("f"), Leaf("f"))
+    g = TaskGraph.from_sp(tree)
+    assert set(g.node_ids) == {"f", "f.1", "f.2"}
+    # order of execution matches series order
+    assert g.has_edge("f", "f.1")
+    assert g.has_edge("f.1", "f.2")
+
+
+def test_from_sp_preserves_payload_and_weight():
+    tree = Leaf("x", payload=42, weight=7.0)
+    g = TaskGraph.from_sp(tree)
+    node = g.node("x")
+    assert node.payload == 42
+    assert node.weight == 7.0
+
+
+def test_from_sp_id_prefix():
+    g = TaskGraph.from_sp(series(Leaf("a"), Leaf("b")), id_prefix="it0/")
+    assert set(g.node_ids) == {"it0/a", "it0/b"}

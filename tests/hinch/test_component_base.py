@@ -1,0 +1,180 @@
+"""Unit tests for the Component base class and JobContext."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ports import PortSpec
+from repro.core.program import ComponentInstance
+from repro.errors import ComponentError
+from repro.hinch.component import Component, JobContext
+from repro.hinch.events import EventBroker
+from repro.hinch.stream import StreamStore
+
+
+def make_instance(**overrides) -> ComponentInstance:
+    defaults = dict(
+        instance_id="x",
+        definition_id="x",
+        class_name="test",
+        params={"gain": 2},
+        streams={"input": "in", "output": "out"},
+    )
+    defaults.update(overrides)
+    return ComponentInstance(**defaults)
+
+
+class Probe(Component):
+    ports = PortSpec(inputs=("input",), outputs=("output",))
+
+    def run(self, job):
+        job.write("output", job.read("input"))
+
+
+def test_params_copied_not_shared():
+    inst = make_instance()
+    c = Probe(inst)
+    c.params["gain"] = 99
+    assert inst.params["gain"] == 2
+
+
+def test_param_accessors():
+    c = Probe(make_instance())
+    assert c.param("gain") == 2
+    assert c.param("missing", 7) == 7
+    assert c.require_param("gain") == 2
+    with pytest.raises(ComponentError, match="requires param"):
+        c.require_param("missing")
+
+
+def test_reconfigure_updates_params():
+    c = Probe(make_instance())
+    c.reconfigure("pos=3,4; mode=fast")
+    assert c.params["pos"] == "3,4"
+    assert c.params["mode"] == "fast"
+
+
+def test_reconfigure_slice_assignment():
+    c = Probe(make_instance())
+    assert c.slice is None
+    c.reconfigure("slice=2/8")
+    assert c.slice == (2, 8)
+
+
+def test_reconfigure_malformed_rejected():
+    c = Probe(make_instance())
+    with pytest.raises(ComponentError, match="malformed"):
+        c.reconfigure("not-a-kv-pair")
+
+
+def test_reconfigure_empty_segments_ignored():
+    c = Probe(make_instance())
+    c.reconfigure("a=1;;  ; b=2")
+    assert c.params["a"] == "1"
+    assert c.params["b"] == "2"
+
+
+def test_slice_from_instance():
+    c = Probe(make_instance(slice=(1, 4)))
+    assert c.slice == (1, 4)
+
+
+def test_default_cost_profile_is_none():
+    assert Component.cost_profile(make_instance()) is None
+    assert Component.always_execute is False
+
+
+# -- JobContext ---------------------------------------------------------------------
+
+
+def make_ctx(instance=None, iteration=0, aliases=None, stop=None):
+    return JobContext(
+        instance or make_instance(),
+        iteration,
+        StreamStore(),
+        EventBroker(),
+        aliases or {},
+        stop_requester=stop,
+    )
+
+
+def test_ctx_read_write_with_byte_accounting():
+    ctx = make_ctx()
+    data = np.zeros(100, dtype=np.uint8)
+    ctx._streams.stream("in").put(0, data)
+    got = ctx.read("input")
+    assert got is data
+    ctx.write("output", data)
+    assert ctx.bytes_read == 100
+    assert ctx.bytes_written == 100
+
+
+def test_ctx_scalar_bytes_are_zero():
+    ctx = make_ctx()
+    ctx._streams.stream("in").put(0, 42)
+    ctx.read("input")
+    assert ctx.bytes_read == 0
+
+
+def test_ctx_bytes_for_raw_bytes():
+    ctx = make_ctx()
+    ctx._streams.stream("in").put(0, b"abcdef")
+    ctx.read("input")
+    assert ctx.bytes_read == 6
+
+
+def test_ctx_unknown_port_rejected():
+    ctx = make_ctx()
+    with pytest.raises(ComponentError, match="no port"):
+        ctx.read("bogus")
+
+
+def test_ctx_alias_resolution():
+    ctx = make_ctx(aliases={"out": "final"})
+    ctx.write("output", 1)
+    assert ctx._streams.stream("final").get(0) == 1
+    assert not ctx._streams.stream("out").has(0)
+
+
+def test_ctx_buffer_and_note_written():
+    ctx = make_ctx()
+    buf = ctx.buffer("output", lambda: np.zeros(8))
+    buf[:] = 5
+    ctx.note_written(64)
+    assert ctx.bytes_written == 64
+    assert np.all(ctx._streams.stream("out").get(0) == 5)
+
+
+def test_ctx_post_event():
+    ctx = make_ctx()
+    ctx.post_event("ui", "pressed", payload=3)
+    events = ctx._broker.queue("ui").poll()
+    assert len(events) == 1
+    assert events[0].source == "x"
+    assert events[0].payload == 3
+
+
+def test_ctx_request_stop():
+    calls = []
+    ctx = make_ctx(stop=lambda: calls.append(1))
+    ctx.request_stop()
+    assert calls == [1]
+    # without a requester it is a no-op
+    make_ctx().request_stop()
+
+
+def test_port_spec_validation():
+    with pytest.raises(ComponentError, match="both input and output"):
+        PortSpec(inputs=("a",), outputs=("a",))
+    spec = PortSpec(inputs=("i",), outputs=("o",),
+                    required_params=("x",), optional_params=("y",))
+    assert spec.is_input("i") and spec.is_output("o")
+    assert spec.all_ports == ("i", "o")
+    spec.check_params("cls", {"x", "y"})
+    with pytest.raises(ComponentError, match="missing required"):
+        spec.check_params("cls", {"y"})
+    with pytest.raises(ComponentError, match="unknown params"):
+        spec.check_params("cls", {"x", "zzz"})
+    open_spec = PortSpec(open_params=True)
+    open_spec.check_params("cls", {"anything", "goes"})

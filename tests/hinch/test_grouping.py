@@ -1,0 +1,186 @@
+"""Tests for component grouping (paper §4.1 'scheduled as one entity')."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AppBuilder, expand
+from repro.hinch import ThreadedRuntime
+from repro.hinch.grouping import group_linear_chains
+from repro.spacecake import AccessLevel, SimRuntime
+
+from tests.spacecake.helpers import PORTS, REGISTRY
+from tests.hinch.helpers import PORTS as HPORTS, REGISTRY as HREGISTRY
+
+
+def chain_app(stages=3):
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "costed_source", streams={"output": "s0"},
+                   params={"cycles": 100, "nbytes": 4096})
+    for i in range(stages):
+        main.component(f"w{i}", "costed_worker",
+                       streams={"input": f"s{i}", "output": f"s{i+1}"},
+                       params={"cycles": 100, "nbytes": 4096})
+    main.component("snk", "costed_sink", streams={"input": f"s{stages}"})
+    return expand(b.build(), PORTS)
+
+
+def test_linear_chain_merges_fully():
+    pg = chain_app(3).build_graph()
+    grouped = group_linear_chains(pg)
+    assert len(grouped.graph) == 1
+    (node,) = list(grouped.graph)
+    assert node.node_id == "src+w0+w1+w2+snk"
+    assert [i.instance_id for i in node.payload] == [
+        "src", "w0", "w1", "w2", "snk"
+    ]
+
+
+def test_branching_limits_grouping():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "costed_source", streams={"output": "a"},
+                   params={"cycles": 10})
+    with main.parallel("task"):
+        with main.parblock():
+            main.component("x", "costed_worker",
+                           streams={"input": "a", "output": "xa"},
+                           params={"cycles": 10})
+        with main.parblock():
+            main.component("y", "costed_worker",
+                           streams={"input": "a", "output": "ya"},
+                           params={"cycles": 10})
+    main.component("snk1", "costed_sink", streams={"input": "xa"})
+    main.component("snk2", "costed_sink", streams={"input": "ya"})
+    pg = expand(b.build(), PORTS).build_graph()
+    grouped = group_linear_chains(pg)
+    # src fans out (not groupable); each branch chain x->...->snk? snk1
+    # depends only on x -> groupable pairs
+    assert "x+snk1" in grouped.graph or "x" in grouped.graph
+    # dependencies preserved
+    order = grouped.graph.topological_order()
+    assert order[0].startswith("src")
+
+
+def test_slices_only_group_with_matching_assignment():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "costed_source", streams={"output": "a"},
+                   params={"cycles": 10})
+    with main.parallel("slice", n=3):
+        main.component("w", "costed_worker",
+                       streams={"input": "a", "output": "b"},
+                       params={"cycles": 10})
+    main.component("snk", "costed_sink", streams={"input": "b"})
+    pg = expand(b.build(), PORTS).build_graph()
+    grouped = group_linear_chains(pg)
+    # slice copies have distinct assignments from src (None) and fan-in to
+    # snk, so nothing merges across the region boundary
+    for i in range(3):
+        assert f"w[{i}]" in grouped.graph
+
+
+def test_no_chains_returns_same_object():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "costed_source", streams={"output": "a"},
+                   params={"cycles": 10})
+    with main.parallel("slice", n=2):
+        main.component("w", "costed_worker",
+                       streams={"input": "a", "output": "b"},
+                       params={"cycles": 10})
+    main.component("s1", "costed_sink", streams={"input": "b"})
+    pg = expand(b.build(), PORTS).build_graph()
+    # src -> w[i] (fanout), w[i] -> s1 (fan-in): src->? out_degree 2 — and
+    # the only single-single edge would be none; expect identity
+    grouped = group_linear_chains(pg)
+    if grouped is not pg:  # if anything merged, deps must still hold
+        assert grouped.graph.is_acyclic()
+
+
+def test_grouped_sim_fewer_jobs_same_work():
+    program = chain_app(3)
+    split = SimRuntime(program, REGISTRY, nodes=1, pipeline_depth=1,
+                       max_iterations=4).run()
+    grouped = SimRuntime(program, REGISTRY, nodes=1, pipeline_depth=1,
+                         max_iterations=4, group_chains=True).run()
+    assert grouped.jobs_executed < split.jobs_executed
+    # one job overhead instead of five, plus L1 reuse: strictly cheaper
+    assert grouped.cycles < split.cycles
+
+
+def test_grouping_turns_stream_traffic_into_l1_hits():
+    program = chain_app(3)
+    split = SimRuntime(program, REGISTRY, nodes=2, pipeline_depth=1,
+                       max_iterations=6).run()
+    grouped = SimRuntime(program, REGISTRY, nodes=2, pipeline_depth=1,
+                         max_iterations=6, group_chains=True).run()
+    assert (
+        grouped.cache_stats.accesses[AccessLevel.L1]
+        > split.cache_stats.accesses[AccessLevel.L1]
+    )
+
+
+def test_grouping_reduces_parallelism():
+    """The paper's caveat: grouped entities cannot spread over cores."""
+    program = chain_app(4)
+    split = SimRuntime(program, REGISTRY, nodes=4, pipeline_depth=6,
+                       max_iterations=24).run()
+    grouped = SimRuntime(program, REGISTRY, nodes=4, pipeline_depth=6,
+                         max_iterations=24, group_chains=True).run()
+    # fully grouped chain = 1 job/iteration: pipeline cannot overlap
+    # stages across cores, so utilization collapses
+    assert grouped.utilization < split.utilization
+
+
+def test_grouped_threaded_results_identical():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "producer", streams={"output": "a"},
+                   params={"base": 3})
+    main.component("d", "doubler", streams={"input": "a", "output": "b"})
+    main.component("p", "addconst", streams={"input": "b", "output": "c"},
+                   params={"k": 7})
+    main.component("snk", "collector", streams={"input": "c"})
+    program = expand(b.build(), HPORTS)
+    plain = ThreadedRuntime(program, HREGISTRY, nodes=2, pipeline_depth=3,
+                            max_iterations=6).run()
+    grouped = ThreadedRuntime(program, HREGISTRY, nodes=2, pipeline_depth=3,
+                              max_iterations=6, group_chains=True).run()
+    assert plain.components["snk"].ordered() == \
+        grouped.components["snk"].ordered() == [(3 + k) * 2 + 7 for k in range(6)]
+
+
+def test_grouped_sim_execute_matches_functional_output():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "producer", streams={"output": "a"})
+    main.component("d", "doubler", streams={"input": "a", "output": "b"})
+    main.component("snk", "collector", streams={"input": "b"})
+    program = expand(b.build(), HPORTS)
+    sim = SimRuntime(program, HREGISTRY, nodes=2, pipeline_depth=2,
+                     max_iterations=5, execute=True, group_chains=True).run()
+    assert sim.components["snk"].ordered() == [k * 2 for k in range(5)]
+
+
+def test_grouping_survives_reconfiguration():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "costed_source", streams={"output": "a"},
+                   params={"cycles": 100})
+    main.component("timer", "sim_timer",
+                   params={"queue": "ui", "period": 4, "event": "flip"})
+    with main.manager("m", queue="ui") as mgr:
+        mgr.on("flip", "toggle", option="extra")
+        with main.option("extra", enabled=False, bypass=[("a", "b")]):
+            main.component("x", "costed_worker",
+                           streams={"input": "a", "output": "b"},
+                           params={"cycles": 100})
+    main.component("snk", "costed_sink", streams={"input": "b"})
+    program = expand(b.build(), PORTS)
+    result = SimRuntime(program, REGISTRY, nodes=2, pipeline_depth=2,
+                        max_iterations=16, group_chains=True).run()
+    assert result.completed_iterations == 16
+    assert result.reconfig_count >= 2

@@ -1,0 +1,147 @@
+"""Property tests: scheduler invariants under random programs & orders.
+
+The dataflow scheduler must uphold, for *any* SP-structured program and
+*any* order in which ready jobs are executed:
+
+1. every (node, iteration) pair executes exactly once;
+2. graph predecessors complete first within an iteration;
+3. a node's iterations complete in order;
+4. never more than ``pipeline_depth`` iterations in flight;
+5. the run terminates with all iterations completed.
+
+Hypothesis drives both the program shape and the interleaving (which
+ready job to run next), covering schedules a FIFO queue would never
+produce.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AppBuilder, expand
+from repro.hinch.scheduler import DataflowScheduler
+
+from tests.hinch.helpers import PORTS
+
+
+@st.composite
+def random_programs(draw):
+    """A random layered pipeline with optional slice/crossdep regions."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component("src", "array_source", streams={"output": "s0"},
+                   params={"size": 16})
+    n_layers = draw(st.integers(1, 3))
+    stream_index = 0
+    for layer in range(n_layers):
+        kind = draw(st.sampled_from(["plain", "slice", "task", "crossdep"]))
+        src = f"s{stream_index}"
+        dst = f"s{stream_index + 1}"
+        if kind == "plain":
+            main.component(f"f{layer}", "doubler",
+                           streams={"input": src, "output": dst})
+        elif kind == "slice":
+            n = draw(st.integers(2, 4))
+            with main.parallel("slice", n=n):
+                main.component(f"f{layer}", "slice_scaler",
+                               streams={"input": src, "output": dst})
+        elif kind == "task":
+            mid_a = f"t{layer}a"
+            mid_b = f"t{layer}b"
+            with main.parallel("task"):
+                with main.parblock():
+                    main.component(f"fa{layer}", "doubler",
+                                   streams={"input": src, "output": mid_a})
+                with main.parblock():
+                    main.component(f"fb{layer}", "addconst",
+                                   streams={"input": src, "output": mid_b})
+            main.component(f"j{layer}", "adder",
+                           streams={"a": mid_a, "b": mid_b, "output": dst})
+        else:  # crossdep
+            n = draw(st.integers(2, 4))
+            mid = f"x{layer}"
+            with main.parallel("crossdep", n=n):
+                with main.parblock():
+                    main.component(f"h{layer}", "slice_scaler",
+                                   streams={"input": src, "output": mid})
+                with main.parblock():
+                    main.component(f"v{layer}", "halo_smoother",
+                                   streams={"input": mid, "output": dst})
+        stream_index += 1
+    main.component("snk", "collector",
+                   streams={"input": f"s{stream_index}"})
+    return expand(b.build(), PORTS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    program=random_programs(),
+    depth=st.integers(1, 5),
+    iterations=st.integers(1, 6),
+    choices=st.lists(st.integers(0, 10_000), min_size=0, max_size=300),
+)
+def test_prop_scheduler_invariants(program, depth, iterations, choices):
+    pg = program.build_graph()
+    sched = DataflowScheduler(pg, pipeline_depth=depth,
+                              max_iterations=iterations)
+    frontier = list(sched.start())
+    executed: list = []
+    done_at: dict = {}
+    pick = iter(choices)
+    max_in_flight = sched.in_flight
+    step = 0
+    while frontier:
+        index = next(pick, 0) % len(frontier)
+        job = frontier.pop(index)
+        # invariant 2: predecessors done within the iteration
+        for pred in pg.graph.predecessors(job.node_id):
+            assert (pred, job.iteration) in done_at, (
+                f"{job.node_id}@{job.iteration} ran before {pred}"
+            )
+        # invariant 3: previous iteration of the same node done
+        if job.iteration > 0:
+            assert (job.node_id, job.iteration - 1) in done_at
+        executed.append((job.node_id, job.iteration))
+        done_at[(job.node_id, job.iteration)] = step
+        step += 1
+        frontier.extend(sched.complete(job))
+        max_in_flight = max(max_in_flight, sched.in_flight)
+    # invariant 5: termination with everything completed
+    assert sched.done
+    assert sched.completed_iterations == iterations
+    # invariant 1: exactly once
+    expected = {
+        (node_id, k)
+        for node_id in pg.graph.node_ids
+        for k in range(iterations)
+    }
+    assert set(executed) == expected
+    assert len(executed) == len(expected)
+    # invariant 4: bounded pipeline
+    assert max_in_flight <= depth
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    program=random_programs(),
+    nodes=st.integers(1, 4),
+    iterations=st.integers(1, 4),
+)
+def test_prop_threaded_and_sim_agree_on_data(program, nodes, iterations):
+    """Random programs produce identical sink data on both backends."""
+    from repro.hinch import ThreadedRuntime
+    from repro.spacecake import SimRuntime
+
+    from tests.hinch.helpers import REGISTRY
+
+    thr = ThreadedRuntime(program, REGISTRY, nodes=nodes, pipeline_depth=3,
+                          max_iterations=iterations).run()
+    sim = SimRuntime(program, REGISTRY, nodes=nodes, pipeline_depth=3,
+                     max_iterations=iterations, execute=True).run()
+    a = thr.components["snk"].ordered()
+    b = sim.components["snk"].ordered()
+    assert len(a) == len(b) == iterations
+    import numpy as np
+
+    for x, y in zip(a, b):
+        assert np.array_equal(x, y)

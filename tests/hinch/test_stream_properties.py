@@ -1,0 +1,107 @@
+"""Property tests for stream invariants under random operation sequences."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import StreamError
+from repro.hinch.stream import Stream, StreamStore
+
+
+class StreamMachine(RuleBasedStateMachine):
+    """Model-based test: a Stream against a plain dict reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.stream = Stream("s")
+        self.model: dict[int, object] = {}
+        self.finalized: set[int] = set()
+
+    iterations = st.integers(0, 5)
+
+    @rule(k=iterations, value=st.integers())
+    def put(self, k, value):
+        if k in self.model:
+            try:
+                self.stream.put(k, value)
+                raise AssertionError("double write must raise")
+            except StreamError:
+                pass
+        else:
+            self.stream.put(k, value)
+            self.model[k] = value
+            self.finalized.add(k)
+
+    @rule(k=iterations)
+    def get(self, k):
+        if k in self.model:
+            assert self.stream.get(k) == self.model[k]
+        else:
+            try:
+                self.stream.get(k)
+                raise AssertionError("read-before-write must raise")
+            except StreamError:
+                pass
+
+    @rule(k=iterations)
+    def ensure(self, k):
+        if k in self.finalized:
+            try:
+                self.stream.ensure_buffer(k, lambda: [0])
+                raise AssertionError("sliced write after put must raise")
+            except StreamError:
+                pass
+        else:
+            buf = self.stream.ensure_buffer(k, lambda: [0])
+            if k in self.model:
+                assert buf is self.model[k]
+            else:
+                self.model[k] = buf
+
+    @rule(k=iterations)
+    def release(self, k):
+        self.stream.release(k)
+        self.model.pop(k, None)
+        self.finalized.discard(k)
+
+    @invariant()
+    def live_slots_match_model(self):
+        assert self.stream.live_slots == len(self.model)
+
+
+TestStreamModel = StreamMachine.TestCase
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 3)),
+                max_size=30))
+def test_prop_store_release_clears_everything(ops):
+    store = StreamStore()
+    live: set[tuple[str, int]] = set()
+    for name, k in ops:
+        store.stream(name).put(*_fresh(store, name, k))
+        live.add((name, _last_put[0]))
+    for _, k in list(live):
+        store.release_iteration(k)
+    # releasing every iteration seen leaves nothing behind
+    for name, k in live:
+        store.release_iteration(k)
+    assert store.total_live_slots() == 0
+
+
+_last_put = [0]
+
+
+def _fresh(store, name, k):
+    """Find an unused iteration near k to avoid double-write errors."""
+    stream = store.stream(name)
+    while stream.has(k):
+        k += 1
+    _last_put[0] = k
+    return k, object()

@@ -1,0 +1,191 @@
+"""Unit tests for tracing and the central job queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.hinch.jobqueue import Job, JobQueue
+from repro.hinch.tracing import TraceEvent, Tracer, merge_traces
+
+
+# -- tracer ---------------------------------------------------------------------
+
+
+def make_event(node, worker, start, end, iteration=0, kind="task"):
+    return TraceEvent(node_id=node, iteration=iteration, worker=worker,
+                      start=start, end=end, kind=kind)
+
+
+def test_trace_event_duration():
+    assert make_event("a", 0, 1.0, 3.5).duration == 2.5
+
+
+def test_tracer_records_and_lists():
+    t = Tracer()
+    t.record(make_event("a", 0, 0, 1))
+    t.record(make_event("b", 1, 1, 2))
+    assert len(t.events) == 2
+    t.clear()
+    assert t.events == []
+
+
+def test_tracer_disabled_drops_events():
+    t = Tracer(enabled=False)
+    t.record(make_event("a", 0, 0, 1))
+    assert t.events == []
+
+
+def test_busy_time_and_makespan():
+    t = Tracer()
+    t.record(make_event("a", 0, 0.0, 2.0))
+    t.record(make_event("b", 1, 1.0, 4.0))
+    assert t.busy_time() == 5.0
+    assert t.busy_time(worker=0) == 2.0
+    assert t.makespan() == 4.0
+    assert t.utilization(2) == 5.0 / 8.0
+
+
+def test_utilization_empty_trace():
+    assert Tracer().utilization(4) == 0.0
+    assert Tracer().makespan() == 0.0
+
+
+def test_per_node_totals():
+    t = Tracer()
+    t.record(make_event("a", 0, 0, 1))
+    t.record(make_event("a", 1, 2, 4, iteration=1))
+    t.record(make_event("b", 0, 1, 2))
+    assert t.per_node_totals() == {"a": 3.0, "b": 1.0}
+
+
+def test_gantt_renders_rows():
+    t = Tracer()
+    t.record(make_event("alpha", 0, 0.0, 5.0))
+    t.record(make_event("beta", 1, 5.0, 10.0))
+    chart = t.gantt(width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert "a" in lines[0]
+    assert "b" in lines[1]
+
+
+def test_gantt_empty():
+    assert Tracer().gantt() == "(empty trace)"
+
+
+def test_merge_traces():
+    t1, t2 = Tracer(), Tracer()
+    t1.record(make_event("a", 0, 0, 1))
+    t2.record(make_event("b", 1, 1, 2))
+    merged = merge_traces([t1, t2])
+    assert {e.node_id for e in merged.events} == {"a", "b"}
+
+
+def test_thread_safe_recording():
+    t = Tracer()
+
+    def hammer(w):
+        for i in range(200):
+            t.record(make_event(f"n{i}", w, i, i + 1))
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert len(t.events) == 800
+
+
+# -- job queue --------------------------------------------------------------------
+
+
+def test_fifo_order():
+    q = JobQueue()
+    jobs = [Job(iteration=0, node_id=f"n{i}") for i in range(5)]
+    q.push_all(jobs)
+    assert [q.pop() for _ in range(5)] == jobs
+
+
+def test_try_pop_nonblocking():
+    q = JobQueue()
+    assert q.try_pop() is None
+    q.push(Job(0, "a"))
+    assert q.try_pop() == Job(0, "a")
+
+
+def test_pop_timeout():
+    q = JobQueue()
+    t0 = time.perf_counter()
+    assert q.pop(timeout=0.05) is None
+    assert time.perf_counter() - t0 >= 0.04
+
+
+def test_close_unblocks_consumers():
+    q = JobQueue()
+    results = []
+
+    def consumer():
+        results.append(q.pop())
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    time.sleep(0.02)
+    q.close()
+    t.join(timeout=2)
+    assert not t.is_alive()
+    assert results == [None]
+
+
+def test_close_drains_remaining_jobs():
+    q = JobQueue()
+    q.push(Job(0, "a"))
+    q.close()
+    assert q.pop() == Job(0, "a")  # already-queued work still served
+    assert q.pop() is None
+
+
+def test_push_after_close_is_dropped():
+    q = JobQueue()
+    q.close()
+    q.push(Job(0, "a"))
+    q.push_all([Job(0, "b")])
+    assert len(q) == 0
+    assert q.total_pushed == 0
+
+
+def test_concurrent_producers_consumers():
+    q = JobQueue()
+    produced = 400
+    consumed: list[Job] = []
+    lock = threading.Lock()
+
+    def producer(base):
+        for i in range(100):
+            q.push(Job(iteration=base, node_id=f"n{i}"))
+
+    def consumer():
+        while True:
+            job = q.pop()
+            if job is None:
+                return
+            with lock:
+                consumed.append(job)
+
+    consumers = [threading.Thread(target=consumer) for _ in range(3)]
+    for c in consumers:
+        c.start()
+    producers = [threading.Thread(target=producer, args=(b,)) for b in range(4)]
+    for p in producers:
+        p.start()
+    for p in producers:
+        p.join()
+    # wait for drain, then close
+    while len(q):
+        time.sleep(0.005)
+    time.sleep(0.02)
+    q.close()
+    for c in consumers:
+        c.join(timeout=2)
+    assert len(consumed) == produced
+    assert len(set(consumed)) == produced

@@ -1,0 +1,87 @@
+"""Tests for deadline analysis (paper §6 real-time direction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_blur, make_program
+from repro.components.registry import default_registry
+from repro.errors import PredictionError
+from repro.prediction import check_deadline, min_nodes_for_deadline
+from repro.spacecake import SimRuntime
+
+REG = default_registry()
+
+
+@pytest.fixture(scope="module")
+def blur():
+    return make_program(build_blur(5), name="blur5")
+
+
+def test_report_fields_consistent(blur):
+    report = check_deadline(blur, REG, nodes=4, frame_budget_cycles=1e6)
+    assert report.nodes == 4
+    assert report.initiation_interval > 0
+    assert report.iteration_span >= report.initiation_interval * 0  # sane
+    assert report.wcet >= report.iteration_span
+    assert report.latency_frames == pytest.approx(
+        report.iteration_span / 1e6
+    )
+
+
+def test_generous_budget_met_tight_budget_missed(blur):
+    generous = check_deadline(blur, REG, nodes=4, frame_budget_cycles=1e8)
+    tight = check_deadline(blur, REG, nodes=4, frame_budget_cycles=1e3)
+    assert generous.meets_throughput
+    assert generous.headroom > 0
+    assert not tight.meets_throughput
+    assert tight.headroom < 0
+
+
+def test_more_nodes_never_hurt(blur):
+    budgets = [
+        check_deadline(blur, REG, nodes=n, frame_budget_cycles=1e6)
+        .initiation_interval
+        for n in (1, 2, 4, 8)
+    ]
+    assert all(a >= b - 1e-9 for a, b in zip(budgets, budgets[1:]))
+
+
+def test_min_nodes_search(blur):
+    # pick a budget met at some node count > 1
+    ii1 = check_deadline(blur, REG, nodes=1, frame_budget_cycles=1.0)
+    ii9 = check_deadline(blur, REG, nodes=9, frame_budget_cycles=1.0)
+    budget = (ii1.initiation_interval + ii9.initiation_interval) / 2
+    report = min_nodes_for_deadline(blur, REG, frame_budget_cycles=budget)
+    assert report is not None
+    assert 1 < report.nodes <= 9
+    assert report.meets_throughput
+    # minimality: one fewer node misses
+    below = check_deadline(blur, REG, nodes=report.nodes - 1,
+                           frame_budget_cycles=budget)
+    assert not below.meets_throughput
+
+
+def test_impossible_deadline_returns_none(blur):
+    assert min_nodes_for_deadline(blur, REG, frame_budget_cycles=1.0) is None
+
+
+def test_invalid_budget_rejected(blur):
+    with pytest.raises(PredictionError):
+        check_deadline(blur, REG, nodes=1, frame_budget_cycles=0)
+
+
+def test_deadline_verdict_agrees_with_simulation(blur):
+    """If the analysis says a budget is met with margin, the simulator's
+    realized initiation interval should meet it too (and vice versa with
+    a clearly missed budget)."""
+    frames = 24
+    sim = SimRuntime(blur, REG, nodes=4, pipeline_depth=5,
+                     max_iterations=frames).run()
+    realized_ii = sim.cycles / frames
+    comfortable = check_deadline(blur, REG, nodes=4,
+                                 frame_budget_cycles=realized_ii * 1.5)
+    assert comfortable.meets_throughput
+    hopeless = check_deadline(blur, REG, nodes=4,
+                              frame_budget_cycles=realized_ii * 0.3)
+    assert not hopeless.meets_throughput

@@ -1,0 +1,132 @@
+"""Tests for SPC performance prediction and WCET bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+
+from repro.errors import PredictionError
+from repro.graph import Leaf, parallel, series
+from repro.prediction import (
+    predict_iteration,
+    predict_run,
+    wcet_sequential,
+    wcet_span,
+)
+
+from tests.graph.test_spc import sp_trees
+
+
+def unit_cost(leaf):
+    return leaf.weight
+
+
+def test_series_adds():
+    tree = series(Leaf("a", weight=3), Leaf("b", weight=4))
+    assert predict_iteration(tree, 1, unit_cost) == 7
+    assert predict_iteration(tree, 4, unit_cost) == 7
+
+
+def test_parallel_on_one_node_is_sum():
+    tree = parallel(Leaf("a", weight=3), Leaf("b", weight=4))
+    assert predict_iteration(tree, 1, unit_cost) == 7
+
+
+def test_parallel_on_many_nodes_is_span():
+    tree = parallel(Leaf("a", weight=3), Leaf("b", weight=4))
+    assert predict_iteration(tree, 2, unit_cost) == 4
+    assert predict_iteration(tree, 8, unit_cost) == 4
+
+
+def test_contention_term():
+    # 8 equal tasks on 2 nodes: work/P = 8*5/2 = 20 > span 5
+    tree = parallel(*[Leaf(f"t{i}", weight=5) for i in range(8)])
+    assert predict_iteration(tree, 2, unit_cost) == 20
+    assert predict_iteration(tree, 8, unit_cost) == 5
+
+
+def test_nested_structure():
+    # series(a, parallel(chain(b, c), d)) with weights 1, (2+3), 4
+    tree = series(
+        Leaf("a", weight=1),
+        parallel(series(Leaf("b", weight=2), Leaf("c", weight=3)),
+                 Leaf("d", weight=4)),
+    )
+    assert predict_iteration(tree, 2, unit_cost) == 1 + 5
+    assert predict_iteration(tree, 1, unit_cost) == 10
+
+
+def test_invalid_nodes():
+    with pytest.raises(PredictionError):
+        predict_iteration(Leaf("a"), 0, unit_cost)
+
+
+def test_wcet_bounds_bracket_prediction():
+    tree = series(
+        Leaf("a", weight=2),
+        parallel(Leaf("b", weight=3), Leaf("c", weight=5)),
+    )
+    seq = wcet_sequential(tree, unit_cost)
+    span = wcet_span(tree, unit_cost)
+    assert seq == 10
+    assert span == 7
+    for nodes in (1, 2, 4):
+        t = predict_iteration(tree, nodes, unit_cost)
+        assert span <= t <= seq
+
+
+@given(sp_trees())
+def test_prop_prediction_monotone_in_nodes(tree):
+    costs = [predict_iteration(tree, n, unit_cost) for n in (1, 2, 4, 8)]
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+
+
+@given(sp_trees())
+def test_prop_prediction_between_span_and_work(tree):
+    seq = wcet_sequential(tree, unit_cost)
+    span = wcet_span(tree, unit_cost)
+    for nodes in (1, 3, 9):
+        t = predict_iteration(tree, nodes, unit_cost)
+        assert span - 1e-9 <= t <= seq + 1e-9
+
+
+@given(sp_trees())
+def test_prop_one_node_prediction_is_total_work(tree):
+    assert predict_iteration(tree, 1, unit_cost) == pytest.approx(
+        wcet_sequential(tree, unit_cost)
+    )
+
+
+# -- against the simulator ----------------------------------------------------
+
+
+def test_predict_run_tracks_simulation():
+    """Analytic prediction within 35% of simulation across apps/nodes."""
+    from repro.bench.harness import Harness, PIPELINE_DEPTH
+
+    h = Harness(frames_scale=0.25)
+    for name in ("PiP-1", "Blur-3x3"):
+        for nodes in (1, 4, 9):
+            simulated = h.run_xspcl(name, nodes=nodes).cycles
+            predicted = predict_run(
+                h.program(name, "xspcl"),
+                h.registry,
+                nodes=nodes,
+                iterations=h.frames(name),
+                pipeline_depth=PIPELINE_DEPTH,
+                cost_params=h.cost_params,
+            )
+            ratio = predicted / simulated
+            assert 0.65 < ratio < 1.35, (
+                f"{name}@{nodes}: predicted {predicted:.3g} vs simulated "
+                f"{simulated:.3g} (ratio {ratio:.2f})"
+            )
+
+
+def test_predict_run_validates_iterations():
+    from repro.bench.harness import Harness
+
+    h = Harness(frames_scale=0.25)
+    with pytest.raises(PredictionError):
+        predict_run(h.program("PiP-1", "xspcl"), h.registry, nodes=1,
+                    iterations=0)

@@ -1,0 +1,102 @@
+"""Cost-profiled synthetic components for simulator tests."""
+
+from __future__ import annotations
+
+from repro.core.ports import PortSpec
+from repro.core.program import ComponentInstance
+from repro.hinch.component import Component, JobContext
+from repro.spacecake.costmodel import JobCost, PortTraffic
+
+from tests.hinch.helpers import REGISTRY as HINCH_REGISTRY
+
+
+class CostedSource(Component):
+    """Source with an explicit cycle cost and output traffic."""
+
+    ports = PortSpec(outputs=("output",),
+                     optional_params=("cycles", "nbytes", "limit"))
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        return JobCost(
+            compute_cycles=float(instance.params.get("cycles", 1000)),
+            traffic=(
+                PortTraffic("output", int(instance.params.get("nbytes", 0)), True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        job.write("output", job.iteration)
+
+
+class CostedWorker(Component):
+    """Filter with explicit cycles; divides work across slice copies."""
+
+    ports = PortSpec(inputs=("input",), outputs=("output",),
+                     optional_params=("cycles", "nbytes"))
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        cycles = float(instance.params.get("cycles", 1000))
+        nbytes = int(instance.params.get("nbytes", 0))
+        if instance.slice is not None:
+            _, total = instance.slice
+            cycles /= total
+            nbytes //= total
+        return JobCost(
+            compute_cycles=cycles,
+            traffic=(
+                PortTraffic("input", nbytes, False),
+                PortTraffic("output", nbytes, True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        job.write("output", job.read("input"))
+
+
+class CostedSink(Component):
+    ports = PortSpec(inputs=("input",), optional_params=("cycles",))
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        return JobCost(compute_cycles=float(instance.params.get("cycles", 100)))
+
+    def __init__(self, instance):
+        super().__init__(instance)
+        self.values: list = []
+
+    def run(self, job: JobContext) -> None:
+        self.values.append((job.iteration, job.read("input")))
+
+
+class SimTimer(Component):
+    """Portless control component: posts an event every ``period`` iters.
+
+    ``always_execute`` makes it run even in cost-only simulations, so
+    reconfiguration experiments work without functional data.
+    """
+
+    ports = PortSpec(optional_params=("queue", "period", "event"))
+    always_execute = True
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        return JobCost(compute_cycles=50.0)
+
+    def run(self, job: JobContext) -> None:
+        period = int(self.param("period", 12))
+        if (job.iteration + 1) % period == 0:
+            job.post_event(self.param("queue", "ui"), self.param("event", "tick"))
+
+
+REGISTRY = dict(HINCH_REGISTRY)
+REGISTRY.update(
+    {
+        "costed_source": CostedSource,
+        "costed_worker": CostedWorker,
+        "costed_sink": CostedSink,
+        "sim_timer": SimTimer,
+    }
+)
+PORTS = {name: cls.ports for name, cls in REGISTRY.items()}

@@ -1,0 +1,171 @@
+"""Unit tests for the discrete-event engine and the cache model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.spacecake import AccessLevel, CacheConfig, CacheModel, EventEngine
+
+
+# -- event engine -------------------------------------------------------------
+
+
+def test_events_fire_in_time_order():
+    engine = EventEngine()
+    order = []
+    engine.schedule(5.0, lambda: order.append("b"))
+    engine.schedule(1.0, lambda: order.append("a"))
+    engine.schedule(9.0, lambda: order.append("c"))
+    end = engine.run()
+    assert order == ["a", "b", "c"]
+    assert end == 9.0
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    engine = EventEngine()
+    order = []
+    for i in range(5):
+        engine.schedule(1.0, lambda i=i: order.append(i))
+    engine.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_callbacks_can_schedule_more_events():
+    engine = EventEngine()
+    ticks = []
+
+    def tick():
+        ticks.append(engine.now)
+        if len(ticks) < 4:
+            engine.schedule(2.0, tick)
+
+    engine.schedule(0.0, tick)
+    end = engine.run()
+    assert ticks == [0.0, 2.0, 4.0, 6.0]
+    assert end == 6.0
+    assert engine.events_processed == 4
+
+
+def test_negative_delay_rejected():
+    engine = EventEngine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = EventEngine()
+    engine.schedule(5.0, lambda: engine.schedule_at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        engine.run()
+
+
+def test_run_until_bound():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(1.0, lambda: fired.append(1))
+    engine.schedule(10.0, lambda: fired.append(2))
+    engine.run(until=5.0)
+    assert fired == [1]
+    assert engine.pending == 1
+    assert engine.now == 5.0
+
+
+# -- cache model -----------------------------------------------------------------
+
+
+def cfg() -> CacheConfig:
+    return CacheConfig(
+        l1_bytes=1000,
+        l2_bytes=10_000,
+        l1_cycles_per_byte=0.1,
+        l2_cycles_per_byte=0.5,
+        mem_cycles_per_byte=2.0,
+    )
+
+
+def test_first_access_is_memory():
+    cache = CacheModel(2, cfg())
+    assert cache.classify(0, "obj") is AccessLevel.MEM
+    cycles = cache.access(0, "obj", 100)
+    assert cycles == 200.0  # 100 B * 2.0 cyc/B
+
+
+def test_immediate_reuse_same_core_hits_l1():
+    cache = CacheModel(2, cfg())
+    cache.access(0, "obj", 100)
+    assert cache.classify(0, "obj") is AccessLevel.L1
+    assert cache.access(0, "obj", 100) == pytest.approx(10.0)
+
+
+def test_reuse_from_other_core_hits_l2():
+    cache = CacheModel(2, cfg())
+    cache.access(0, "obj", 100)
+    assert cache.classify(1, "obj") is AccessLevel.L2
+    assert cache.access(1, "obj", 100) == pytest.approx(50.0)
+
+
+def test_l1_eviction_by_footprint():
+    cache = CacheModel(1, cfg())
+    cache.access(0, "obj", 100)
+    cache.access(0, "filler", 2000)  # exceeds l1_bytes=1000
+    assert cache.classify(0, "obj") is AccessLevel.L2  # still within L2 window
+
+
+def test_l2_eviction_by_tile_footprint():
+    cache = CacheModel(2, cfg())
+    cache.access(0, "obj", 100)
+    # 6k through each core: tile clock advances 12k > l2_bytes
+    cache.access(0, "filler0", 6000)
+    cache.access(1, "filler1", 6000)
+    assert cache.classify(0, "obj") is AccessLevel.MEM
+
+
+def test_access_refreshes_residency():
+    cache = CacheModel(1, cfg())
+    cache.access(0, "obj", 100)
+    cache.access(0, "filler", 900)
+    cache.access(0, "obj", 100)  # refresh: back at top of the stack
+    cache.access(0, "filler2", 900)
+    assert cache.classify(0, "obj") is AccessLevel.L1
+
+
+def test_write_allocates_for_writer_core():
+    cache = CacheModel(2, cfg())
+    cache.access(0, "obj", 100, write=True)
+    assert cache.classify(0, "obj") is AccessLevel.L1
+    assert cache.classify(1, "obj") is AccessLevel.L2
+
+
+def test_evict_forgets_object():
+    cache = CacheModel(1, cfg())
+    cache.access(0, "obj", 100)
+    cache.evict("obj")
+    assert cache.classify(0, "obj") is AccessLevel.MEM
+    assert cache.resident_objects == 0
+
+
+def test_stats_accounting():
+    cache = CacheModel(1, cfg())
+    cache.access(0, "a", 100)  # MEM
+    cache.access(0, "a", 100)  # L1
+    cache.access(0, "b", 4000)  # MEM, evicts a from L1 window
+    cache.access(0, "a", 100)  # L2
+    stats = cache.stats
+    assert stats.accesses[AccessLevel.MEM] == 2
+    assert stats.accesses[AccessLevel.L1] == 1
+    assert stats.accesses[AccessLevel.L2] == 1
+    assert stats.total_accesses == 4
+    assert stats.hit_rate(AccessLevel.MEM) == pytest.approx(0.5)
+    assert stats.bytes_by_level[AccessLevel.MEM] == 4100
+
+
+def test_invalid_core_rejected():
+    cache = CacheModel(1, cfg())
+    with pytest.raises(SimulationError):
+        cache.access(3, "x", 10)
+
+
+def test_invalid_cores_rejected():
+    with pytest.raises(SimulationError):
+        CacheModel(0, cfg())

@@ -1,0 +1,82 @@
+"""Tests for heterogeneous core speeds (Cell direction, paper §6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AppBuilder, expand
+from repro.errors import SimulationError
+from repro.spacecake import CostParams, MachineConfig, SimRuntime
+
+from tests.spacecake.helpers import PORTS, REGISTRY
+from tests.spacecake.test_simulator import ZERO_OVERHEAD, linear_app
+
+
+def sim_machine(machine, *, depth=1, iters=6, params=ZERO_OVERHEAD):
+    program = expand(linear_app(1000).build(), PORTS)
+    return SimRuntime(
+        program, REGISTRY, nodes=machine.nodes, pipeline_depth=depth,
+        max_iterations=iters, cost_params=params, machine=machine,
+    ).run()
+
+
+def test_speed_config_validation():
+    with pytest.raises(SimulationError, match="entries"):
+        MachineConfig(nodes=2, core_speeds=(1.0,))
+    with pytest.raises(SimulationError, match="> 0"):
+        MachineConfig(nodes=2, core_speeds=(1.0, 0.0))
+    assert MachineConfig(nodes=2, core_speeds=(1.0, 4.0)).speed(1) == 4.0
+    assert MachineConfig(nodes=2).speed(1) == 1.0
+
+
+def test_uniform_speed_matches_default():
+    base = sim_machine(MachineConfig(nodes=2))
+    uniform = sim_machine(MachineConfig(nodes=2, core_speeds=(1.0, 1.0)))
+    assert base.cycles == uniform.cycles
+
+
+def test_faster_cores_finish_sooner():
+    slow = sim_machine(MachineConfig(nodes=2))
+    fast = sim_machine(MachineConfig(nodes=2, core_speeds=(2.0, 2.0)))
+    # pure compute, zero traffic: exactly 2x
+    assert fast.cycles == pytest.approx(slow.cycles / 2)
+
+
+def test_mixed_speeds_between_extremes():
+    slow = sim_machine(MachineConfig(nodes=2), depth=5, iters=12)
+    fast = sim_machine(MachineConfig(nodes=2, core_speeds=(4.0, 4.0)),
+                       depth=5, iters=12)
+    mixed = sim_machine(MachineConfig(nodes=2, core_speeds=(4.0, 1.0)),
+                        depth=5, iters=12)
+    assert fast.cycles < mixed.cycles < slow.cycles
+
+
+def test_memory_latency_not_scaled_by_speed():
+    """A vector engine does not speed up DRAM: with huge traffic and zero
+    compute, core speed must not change the cycle count much."""
+    def app(nbytes):
+        b = AppBuilder()
+        main = b.procedure("main")
+        main.component("src", "costed_source", streams={"output": "a"},
+                       params={"cycles": 1, "nbytes": nbytes})
+        main.component("snk", "costed_sink", streams={"input": "a"},
+                       params={"cycles": 1})
+        return b
+
+    program = expand(app(1 << 20).build(), PORTS)
+
+    def run(speeds):
+        return SimRuntime(
+            program, REGISTRY, nodes=1, pipeline_depth=1, max_iterations=4,
+            cost_params=ZERO_OVERHEAD,
+            machine=MachineConfig(nodes=1, core_speeds=speeds),
+        ).run().cycles
+
+    assert run((8.0,)) == pytest.approx(run((1.0,)), rel=0.01)
+
+
+def test_nodes_machine_mismatch_rejected():
+    program = expand(linear_app().build(), PORTS)
+    with pytest.raises(SimulationError, match="disagree"):
+        SimRuntime(program, REGISTRY, nodes=3, max_iterations=1,
+                   machine=MachineConfig(nodes=2))

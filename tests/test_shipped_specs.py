@@ -1,0 +1,53 @@
+"""The XSPCL files shipped in examples/specs/ stay valid and faithful."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.components.registry import default_ports
+from repro.core import expand, parse_file, spec_to_xml, parse_string, validate
+
+SPECS_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+SPEC_FILES = sorted(SPECS_DIR.glob("*.xml"))
+
+
+def test_specs_are_shipped():
+    names = {p.stem for p in SPEC_FILES}
+    assert {"pip1", "pip12", "jpip1", "blur3", "blur35"} <= names
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.stem)
+def test_spec_validates_and_expands(path):
+    spec = parse_file(path)
+    validate(spec, registry=default_ports())
+    program = expand(spec, default_ports(), name=path.stem)
+    pg = program.build_graph()
+    assert len(pg.graph) > 0
+    assert pg.graph.is_acyclic()
+
+
+@pytest.mark.parametrize("path", SPEC_FILES, ids=lambda p: p.stem)
+def test_spec_roundtrips(path):
+    spec = parse_file(path)
+    assert parse_string(spec_to_xml(spec)) == spec
+
+
+def test_shipped_specs_match_builders():
+    """Regeneratable: shipped XML equals the current app builders' output."""
+    from repro.apps import build_blur, build_jpip, build_pip
+
+    builders = {
+        "pip1": lambda: build_pip(1),
+        "pip12": lambda: build_pip(2, reconfigurable=True),
+        "jpip1": lambda: build_jpip(1),
+        "blur3": lambda: build_blur(3),
+        "blur35": lambda: build_blur(reconfigurable=True),
+    }
+    for name, builder in builders.items():
+        shipped = parse_file(SPECS_DIR / f"{name}.xml")
+        assert shipped == builder(), (
+            f"{name}.xml is stale; regenerate with "
+            f"`python -m repro apps {name} -o examples/specs/{name}.xml`"
+        )
