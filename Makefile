@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples clean
+.PHONY: install test bench figures examples lint clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/test_calibration.py
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping style lint"; \
+	fi
+	PYTHONPATH=src $(PYTHON) -m repro lint examples/specs/*.xml
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

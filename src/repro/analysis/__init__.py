@@ -1,0 +1,51 @@
+"""Whole-program static analysis for XSPCL specifications (``xspcl lint``).
+
+Modules:
+
+* :mod:`repro.analysis.diagnostics` — stable diagnostic codes, severities,
+  the collect-all :class:`DiagnosticBag`, and text/JSON renderers;
+* :mod:`repro.analysis.liveness` — dead-flow passes (``X2xx``);
+* :mod:`repro.analysis.concurrency` — deadlock / reconfiguration-safety
+  passes (``X3xx``);
+* :mod:`repro.analysis.perf` — performance lint (``X4xx``);
+* :mod:`repro.analysis.engine` — the pass driver: ``lint_spec`` /
+  ``lint_file``.
+
+The engine symbols are re-exported lazily (PEP 562): the validator in
+:mod:`repro.core` imports ``repro.analysis.diagnostics`` while the engine
+imports :mod:`repro.core`, and deferring the engine import keeps that
+cycle open.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "DiagnosticBag",
+    "Severity",
+    "render_json",
+    "render_text",
+    "lint_spec",
+    "lint_file",
+    "lint_string",
+]
+
+_ENGINE_EXPORTS = ("lint_spec", "lint_file", "lint_string")
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.analysis import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

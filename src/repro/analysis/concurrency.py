@@ -1,0 +1,210 @@
+"""Concurrency / reconfiguration-safety passes (codes ``X3xx``).
+
+The scheduler's deadlock-freedom argument (DESIGN §6) rests on two
+invariants: the per-iteration dependency graph is acyclic, and stream
+capacity equals the pipeline depth so a producer can never block behind
+its own consumers.  X301 checks the first invariant on the *combined*
+graph — control edges plus the data edges every stream induces from its
+writer to its readers.  A cycle there means some iteration can never
+complete: every component on the cycle waits for data only the others
+can produce, and no pipeline depth or stream capacity rescues it.
+
+The remaining passes guard the stream model (X302/X303, surfaced from
+:func:`repro.core.program.stream_problems`), flag non-series-parallel
+regions that silently break SPC performance prediction (X304, paper §2),
+and sanity-check the event plumbing managers depend on (X305/X306).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.diagnostics import DiagnosticBag
+from repro.core.program import Program, ProgramGraph, stream_problems
+from repro.graph.analysis import is_series_parallel
+
+__all__ = [
+    "check_configuration",
+    "check_event_queues",
+]
+
+_PROBLEM_CODE = {
+    "multiple-writers": "X302",
+    "no-writer": "X205",
+    "unordered": "X303",
+}
+
+
+def _combined_dependencies(
+    program: Program, pg: ProgramGraph
+) -> dict[str, set[str]]:
+    """Control edges plus stream-induced writer->reader data edges.
+
+    Sliced writer/reader pairs only depend index-to-index (each copy
+    processes its own frame region); crossdep halos are already explicit
+    control edges.
+    """
+    succ: dict[str, set[str]] = {n.node_id: set() for n in pg.graph}
+    for u, v in pg.graph.edges():
+        succ[u].add(v)
+    for table in pg.streams.values():
+        for writer in table.writers:
+            w_inst = program.components[writer.instance_id]
+            for reader in table.readers:
+                r_inst = program.components[reader.instance_id]
+                if (
+                    w_inst.slice is not None
+                    and r_inst.slice is not None
+                    and w_inst.slice[0] != r_inst.slice[0]
+                ):
+                    continue
+                succ[writer.instance_id].add(reader.instance_id)
+    return succ
+
+
+def _cyclic_sccs(succ: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components that contain a cycle (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = 0
+    result: list[list[str]] = []
+
+    for root in succ:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(succ[root])))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(succ[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                if len(scc) > 1 or node in succ.get(node, ()):
+                    result.append(sorted(scc))
+    return result
+
+
+def check_configuration(
+    bag: DiagnosticBag,
+    program: Program,
+    pg: ProgramGraph,
+    *,
+    context: str = "",
+    crossdep_lines: tuple[int | None, ...] = (),
+) -> None:
+    """Graph-level safety checks for one built configuration.
+
+    ``context`` describes how the configuration differs from the defaults
+    (empty for the default configuration) and is appended to
+    configuration-dependent messages.
+    """
+
+    def line_of(instance_id: str) -> int | None:
+        inst = program.components.get(instance_id)
+        return inst.line if inst is not None else None
+
+    # X301 — pipeline deadlock: cycle in control+data dependencies.
+    succ = _combined_dependencies(program, pg)
+    cyclic_nodes: set[str] = set()
+    for scc in _cyclic_sccs(succ):
+        cyclic_nodes.update(scc)
+        bag.report(
+            "X301",
+            "cyclic stream dependencies would deadlock the pipeline: "
+            + " -> ".join(scc + [scc[0]])
+            + context,
+            line=min(
+                (ln for ln in map(line_of, scc) if ln is not None), default=None
+            ),
+            where=scc[0],
+        )
+
+    # X302 / X205 / X303 — stream-table sanity, collect-all.
+    for problem in stream_problems(program, pg.graph, pg.streams):
+        if problem.kind == "unordered" and set(problem.instances) <= cyclic_nodes:
+            continue  # the cycle report already covers this pair
+        bag.report(
+            _PROBLEM_CODE[problem.kind],
+            problem.message + context,
+            line=next(
+                (ln for ln in map(line_of, problem.instances) if ln is not None),
+                None,
+            ),
+            where=problem.stream,
+        )
+
+    # X304 — non-SP graph: SPC performance prediction is inaccurate until
+    # the region is SP-ized (paper §2: "it has to be transformed into SP
+    # form by adding a synchronization point between the parblocks").
+    if len(pg.graph) > 0 and not is_series_parallel(pg.graph):
+        bag.report(
+            "X304",
+            "task graph is not series-parallel (crossdep region): SPC "
+            "performance prediction is approximate; sp_ize() adds the "
+            "synchronization points the paper prescribes",
+            line=next((ln for ln in crossdep_lines if ln is not None), None),
+        )
+
+
+def check_event_queues(bag: DiagnosticBag, program: Program) -> None:
+    """X305/X306: event queues with no sender or no polling manager.
+
+    Senders are component instances with a ``queue`` init parameter (the
+    convention used by ``timer`` and ``monitor`` sources) plus ``forward``
+    handler targets; receivers are manager queues.
+    """
+    senders: set[str] = set()
+    for inst in program.components.values():
+        queue = inst.params.get("queue")
+        if isinstance(queue, str):
+            senders.add(queue)
+    receivers = {mgr.queue for mgr in program.managers.values()}
+    forward_targets: set[str] = set()
+    for mgr in program.managers.values():
+        for handler in mgr.handlers:
+            if handler.action == "forward" and handler.target is not None:
+                forward_targets.add(handler.target)
+    senders |= forward_targets
+
+    for mgr in sorted(program.managers.values(), key=lambda m: m.qname):
+        if mgr.queue not in senders:
+            bag.report(
+                "X305",
+                f"manager {mgr.qname!r} polls queue {mgr.queue!r} but no "
+                "component or forward handler sends to it; its handlers can "
+                "never fire",
+                where=mgr.qname,
+            )
+    for target in sorted(forward_targets):
+        if target not in receivers:
+            bag.report(
+                "X306",
+                f"events are forwarded to queue {target!r} but no manager "
+                "polls it; forwarded events are dropped",
+            )

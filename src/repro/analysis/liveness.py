@@ -1,0 +1,211 @@
+"""Liveness / dead-flow analysis passes (codes ``X2xx``).
+
+AST-level passes find declarations nothing uses: procedures unreachable
+from ``main`` (X201), stream/param formals a procedure never references
+(X202/X203), and options no manager handler can ever toggle (X206).
+Program-level passes work on the expanded stream tables: streams that are
+produced but never consumed in any examined configuration (X204) and
+streams read without an active writer (X205, surfaced by the engine from
+:func:`repro.core.program.stream_problems`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.diagnostics import DiagnosticBag, Severity
+from repro.core.ast import (
+    CallNode,
+    ComponentNode,
+    ManagerNode,
+    OptionNode,
+    ParallelNode,
+    Procedure,
+    Spec,
+    walk_body,
+)
+
+__all__ = [
+    "check_unreachable_procedures",
+    "check_unused_formals",
+    "check_dead_options",
+    "run_ast_passes",
+]
+
+_PLACEHOLDER = re.compile(r"\$\{([^}]*)\}")
+
+
+def _referenced_names(proc: Procedure) -> set[str]:
+    """Every ``${name}`` placeholder appearing anywhere in a procedure body."""
+    names: set[str] = set()
+
+    def scan(value: object) -> None:
+        if isinstance(value, str):
+            names.update(_PLACEHOLDER.findall(value))
+
+    for node in walk_body(proc.body):
+        if isinstance(node, ComponentNode):
+            for ref in node.streams.values():
+                scan(ref)
+            for value in node.params.values():
+                scan(value)
+            scan(node.reconfigure)
+        elif isinstance(node, CallNode):
+            for ref in node.streams.values():
+                scan(ref)
+            for value in node.params.values():
+                scan(value)
+        elif isinstance(node, ParallelNode):
+            scan(node.n)
+        elif isinstance(node, ManagerNode):
+            scan(node.queue)
+            for handler in node.handlers:
+                scan(handler.target)
+                scan(handler.request)
+        elif isinstance(node, OptionNode):
+            for bp in node.bypasses:
+                scan(bp.src)
+                scan(bp.dst)
+    return names
+
+
+def check_unreachable_procedures(bag: DiagnosticBag, spec: Spec) -> None:
+    """X201: procedures never (transitively) called from ``main``."""
+    if "main" not in spec.procedures:
+        return  # X101 already reported; reachability is meaningless
+    reachable: set[str] = set()
+    stack = ["main"]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        proc = spec.procedures.get(name)
+        if proc is None:
+            continue
+        for node in walk_body(proc.body):
+            if isinstance(node, CallNode):
+                stack.append(node.procedure)
+    for name, proc in spec.procedures.items():
+        if name not in reachable:
+            bag.report(
+                "X201",
+                f"procedure {name!r} is never called from 'main'; "
+                "it contributes no components to the application",
+                line=proc.line,
+                where=f"procedure {name!r}",
+            )
+
+
+def check_unused_formals(bag: DiagnosticBag, spec: Spec) -> None:
+    """X202/X203: formals that no placeholder in the body ever references."""
+    for proc in spec.procedures.values():
+        used = _referenced_names(proc)
+        for formal in proc.stream_formals:
+            if formal.name not in used:
+                bag.report(
+                    "X202",
+                    f"stream formal {formal.name!r} of procedure "
+                    f"{proc.name!r} is never referenced in its body",
+                    line=proc.line,
+                    where=f"procedure {proc.name!r}",
+                )
+        for formal in proc.param_formals:
+            if formal.name not in used:
+                bag.report(
+                    "X203",
+                    f"param formal {formal.name!r} of procedure "
+                    f"{proc.name!r} is never referenced in its body",
+                    line=proc.line,
+                    where=f"procedure {proc.name!r}",
+                )
+
+
+def check_dead_options(bag: DiagnosticBag, spec: Spec) -> None:
+    """X206: options no enable/disable/toggle handler ever targets.
+
+    A default-disabled untoggleable option is dead weight (its subgraph
+    can never run) — warning.  A default-enabled untoggleable option still
+    runs but the option wrapper is pointless — info.
+    """
+    def owned_options(body):
+        """Options of one manager: any depth, not crossing nested managers."""
+        for n in body:
+            if isinstance(n, OptionNode):
+                yield n
+                yield from owned_options(n.body)
+            elif isinstance(n, ParallelNode):
+                for pb in n.parblocks:
+                    yield from owned_options(pb)
+
+    for proc in spec.procedures.values():
+        for node in walk_body(proc.body):
+            if not isinstance(node, ManagerNode):
+                continue
+            toggleable = {
+                h.option
+                for h in node.handlers
+                if h.action in ("enable", "disable", "toggle")
+            }
+            for inner in owned_options(node.body):
+                if inner.name not in toggleable:
+                    if inner.enabled:
+                        bag.report(
+                            "X206",
+                            f"option {inner.name!r} is permanently enabled: no "
+                            f"handler of manager {node.name!r} can toggle it",
+                            line=inner.line,
+                            where=f"manager {node.name!r}",
+                            severity=Severity.INFO,
+                        )
+                    else:
+                        bag.report(
+                            "X206",
+                            f"option {inner.name!r} starts disabled and no "
+                            f"handler of manager {node.name!r} can enable it; "
+                            "its components can never run",
+                            line=inner.line,
+                            where=f"manager {node.name!r}",
+                        )
+
+
+def check_dead_streams(
+    bag: DiagnosticBag,
+    tables_per_config: list[dict],
+    lines: dict[str, int | None],
+) -> None:
+    """X204: streams with writers but no readers in *every* configuration.
+
+    ``tables_per_config`` holds the ``ProgramGraph.streams`` dict of each
+    examined configuration (post-bypass-aliasing); a stream that finds a
+    reader in at least one configuration is considered live.  ``lines``
+    maps component instance ids to source lines for attribution.
+    """
+    written: dict[str, tuple[str, ...]] = {}
+    read: set[str] = set()
+    for tables in tables_per_config:
+        for name, table in tables.items():
+            if table.writers:
+                written.setdefault(
+                    name, tuple(w.instance_id for w in table.writers)
+                )
+            if table.readers:
+                read.add(name)
+    for name, writers in sorted(written.items()):
+        if name not in read:
+            writer_id = writers[0]
+            bag.report(
+                "X204",
+                f"stream {name!r} is written by {sorted(set(writers))} but "
+                "never read in any configuration; the work producing it is "
+                "wasted",
+                line=lines.get(writer_id),
+                where=writer_id,
+            )
+
+
+def run_ast_passes(bag: DiagnosticBag, spec: Spec) -> None:
+    """All AST-level liveness passes (program-level ones run in the engine)."""
+    check_unreachable_procedures(bag, spec)
+    check_unused_formals(bag, spec)
+    check_dead_options(bag, spec)

@@ -3,6 +3,8 @@
 Subcommands mirror the paper's toolchain (Fig. 1):
 
 * ``validate`` — check an XSPCL document;
+* ``lint``     — whole-program static analysis (deadlock, dead flow,
+  reconfiguration safety, performance lint) with stable ``Xnnn`` codes;
 * ``expand``   — inline procedures / replicate parallel shapes and report
   the resulting graph (optionally as DOT);
 * ``run``      — execute a specification on the threaded Hinch runtime or
@@ -34,12 +36,24 @@ def _load_program(path: str, name: str | None = None):
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.diagnostics import Severity
     from repro.components.registry import default_ports
-    from repro.core import parse_file, validate
+    from repro.core import parse_file
+    from repro.core.validator import collect_diagnostics
 
     spec = parse_file(args.spec)
     registry = None if args.no_registry else default_ports()
-    validate(spec, registry=registry)
+    errors = collect_diagnostics(spec, registry=registry).at_or_above(
+        Severity.ERROR
+    )
+    if errors:
+        for d in errors:
+            line = f":{d.line}" if d.line is not None else ""
+            print(f"{args.spec}{line}: error: [{d.code}] {d.message}",
+                  file=sys.stderr)
+        print(f"{args.spec}: {len(errors)} validation error(s)",
+              file=sys.stderr)
+        return 1
     n_components = sum(
         1
         for proc in spec.procedures.values()
@@ -51,6 +65,27 @@ def cmd_validate(args: argparse.Namespace) -> int:
         f"{n_components} component declaration(s))"
     )
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import lint_file
+    from repro.analysis.diagnostics import Severity, render_json, render_text
+    from repro.components.registry import default_ports, default_registry
+
+    if args.no_registry:
+        ports = classes = None
+    else:
+        classes = default_registry()
+        ports = default_ports(classes)
+    diagnostics = []
+    for path in args.specs:
+        diagnostics.extend(lint_file(path, ports=ports, classes=classes))
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        print(render_text(diagnostics))
+    threshold = Severity.parse(args.fail_on)
+    return 1 if any(d.severity >= threshold for d in diagnostics) else 0
 
 
 def _walk(body):
@@ -242,6 +277,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip component-class checks")
     p.set_defaults(fn=cmd_validate)
 
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: deadlock / dead-flow / reconfiguration-safety "
+             "/ performance lint (docs/lint.md catalogues the codes)",
+    )
+    p.add_argument("specs", nargs="+", metavar="spec")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--fail-on", choices=("error", "warning"), default="error",
+                   help="lowest severity that causes a nonzero exit")
+    p.add_argument("--no-registry", action="store_true",
+                   help="skip component-class and graph-level checks")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("expand", help="expand and summarize an application")
     p.add_argument("spec")
     p.add_argument("--dot", help="write the task graph as DOT to this file")
@@ -291,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -22,6 +22,12 @@ Two reproduction extensions are documented in DESIGN.md:
 AST nodes are plain frozen dataclasses; they carry no behaviour beyond
 convenience accessors, so the parser, builder, and xmlio modules stay in
 lock-step.
+
+Source-bearing nodes carry a ``line`` attribute (the XML source line,
+stamped by the parser; ``None`` for builder-assembled specs).  It is a
+``compare=False`` field so specs compare equal regardless of where their
+text happened to sit in a file — round-trip tests and the AppBuilder rely
+on that.
 """
 
 from __future__ import annotations
@@ -91,6 +97,7 @@ class ComponentNode:
     params: dict[str, Value] = field(default_factory=dict)
     #: reconfiguration request delivered once, upon creation (paper §3.1)
     reconfigure: str | None = None
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,7 @@ class CallNode:
     name: str
     streams: dict[str, str] = field(default_factory=dict)
     params: dict[str, Value] = field(default_factory=dict)
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -118,6 +126,7 @@ class ParallelNode:
     shape: str
     parblocks: tuple[tuple["BodyNode", ...], ...]
     n: Value | None = None  # replication count for slice/crossdep
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -135,6 +144,7 @@ class EventHandler:
     option: str | None = None
     target: str | None = None
     request: str | None = None
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -144,6 +154,7 @@ class Bypass:
 
     src: str
     dst: str
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -154,6 +165,7 @@ class OptionNode:
     body: tuple["BodyNode", ...]
     enabled: bool = True  # initial state
     bypasses: tuple[Bypass, ...] = ()
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -169,6 +181,7 @@ class ManagerNode:
     queue: str
     handlers: tuple[EventHandler, ...]
     body: tuple["BodyNode", ...]
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 BodyNode = Union[ComponentNode, CallNode, ParallelNode, ManagerNode, OptionNode]
@@ -182,6 +195,7 @@ class Procedure:
     body: tuple[BodyNode, ...]
     stream_formals: tuple[StreamFormal, ...] = ()
     param_formals: tuple[ParamFormal, ...] = ()
+    line: int | None = field(default=None, compare=False, repr=False)
 
     def formal_stream_names(self) -> set[str]:
         return {f.name for f in self.stream_formals}

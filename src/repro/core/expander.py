@@ -198,6 +198,7 @@ class _Expander:
             reconfigure=reconfigure,
             manager=ctx.manager,
             options=ctx.options,
+            line=comp.line,
         )
         self.components[instance_id] = instance
         self._record_member(ctx, instance_id)

@@ -134,6 +134,7 @@ def _parse_component(elem: ET.Element) -> ComponentNode:
         streams=streams,
         params=params,
         reconfigure=reconfigure,
+        line=_line(elem),
     )
 
 
@@ -155,7 +156,10 @@ def _parse_call(elem: ET.Element) -> CallNode:
             params[pname] = parse_value(_require_attr(child, "value"))
         else:
             raise _fail(child, f"unexpected tag <{child.tag}> inside <call>")
-    return CallNode(procedure=procedure, name=name, streams=streams, params=params)
+    return CallNode(
+        procedure=procedure, name=name, streams=streams, params=params,
+        line=_line(elem),
+    )
 
 
 def _parse_parallel(elem: ET.Element) -> ParallelNode:
@@ -179,7 +183,9 @@ def _parse_parallel(elem: ET.Element) -> ParallelNode:
         raise _fail(elem, f'shape="{shape}" requires attribute n')
     if shape == "task" and n is not None:
         raise _fail(elem, 'shape="task" does not take attribute n')
-    return ParallelNode(shape=shape, parblocks=tuple(parblocks), n=n)
+    return ParallelNode(
+        shape=shape, parblocks=tuple(parblocks), n=n, line=_line(elem)
+    )
 
 
 def _parse_handler(elem: ET.Element) -> EventHandler:
@@ -199,7 +205,8 @@ def _parse_handler(elem: ET.Element) -> EventHandler:
     if action == "reconfigure" and request is None:
         raise _fail(elem, 'action="reconfigure" requires attribute request')
     return EventHandler(
-        event=event, action=action, option=option, target=target, request=request
+        event=event, action=action, option=option, target=target, request=request,
+        line=_line(elem),
     )
 
 
@@ -213,7 +220,11 @@ def _parse_option(elem: ET.Element) -> OptionNode:
     for child in elem:
         if child.tag == "bypass":
             bypasses.append(
-                Bypass(src=_require_attr(child, "from"), dst=_require_attr(child, "to"))
+                Bypass(
+                    src=_require_attr(child, "from"),
+                    dst=_require_attr(child, "to"),
+                    line=_line(child),
+                )
             )
         else:
             body_children.append(child)
@@ -225,6 +236,7 @@ def _parse_option(elem: ET.Element) -> OptionNode:
         body=body,
         enabled=enabled_raw == "true",
         bypasses=tuple(bypasses),
+        line=_line(elem),
     )
 
 
@@ -244,7 +256,10 @@ def _parse_manager(elem: ET.Element) -> ManagerNode:
             raise _fail(child, f"unexpected tag <{child.tag}> inside <manager>")
     if body is None:
         raise _fail(elem, "<manager> requires a <body>")
-    return ManagerNode(name=name, queue=queue, handlers=tuple(handlers), body=body)
+    return ManagerNode(
+        name=name, queue=queue, handlers=tuple(handlers), body=body,
+        line=_line(elem),
+    )
 
 
 _BODY_DISPATCH = {
@@ -305,6 +320,7 @@ def _parse_procedure(elem: ET.Element) -> Procedure:
         body=body,
         stream_formals=tuple(stream_formals),
         param_formals=tuple(param_formals),
+        line=_line(elem),
     )
 
 

@@ -42,6 +42,8 @@ __all__ = [
     "OptionInfo",
     "Program",
     "ProgramGraph",
+    "StreamProblem",
+    "stream_problems",
     "IRLeaf",
     "IRSeries",
     "IRParallel",
@@ -69,6 +71,8 @@ class ComponentInstance:
     reconfigure: str | None = None
     manager: str | None = None  # nearest enclosing manager (qualified)
     options: tuple[str, ...] = ()  # enclosing options, outermost first
+    #: XML source line of the defining <component> (diagnostics only)
+    line: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -225,7 +229,10 @@ class Program:
     # -- configuration instantiation ----------------------------------------
 
     def build_graph(
-        self, option_states: Mapping[str, bool] | None = None
+        self,
+        option_states: Mapping[str, bool] | None = None,
+        *,
+        check: bool = True,
     ) -> ProgramGraph:
         """Instantiate the task graph + stream table for one configuration.
 
@@ -234,6 +241,10 @@ class Program:
         active component instance, barrier nodes at plural series
         junctions, crossdep edges, and ``manager_enter``/``manager_exit``
         pseudo-nodes bracketing each managed subgraph.
+
+        With ``check=False`` the stream sanity checks are skipped — the
+        lint engine uses this to collect *all* problems via
+        :func:`stream_problems` instead of failing on the first.
         """
         states = self.default_option_states()
         if option_states:
@@ -345,7 +356,10 @@ class Program:
 
         aliases = self._alias_map(states)
         streams = self._stream_table(active, aliases)
-        self._check_stream_sanity(graph, streams)
+        if check:
+            problems = stream_problems(self, graph, streams)
+            if problems:
+                raise ValidationError(problems[0].message)
         return ProgramGraph(
             graph=graph,
             streams=streams,
@@ -398,47 +412,6 @@ class Program:
                 else:
                     table.readers.append(endpoint)
         return tables
-
-    def _check_stream_sanity(
-        self, graph: TaskGraph, streams: dict[str, StreamTable]
-    ) -> None:
-        for table in streams.values():
-            defs = {
-                self.components[w.instance_id].definition_id for w in table.writers
-            }
-            if len(defs) > 1:
-                raise ValidationError(
-                    f"stream {table.name!r} has multiple logical writers: "
-                    f"{sorted(defs)}"
-                )
-            if table.readers and not table.writers:
-                raise ValidationError(
-                    f"stream {table.name!r} is read by "
-                    f"{[r.instance_id for r in table.readers]} but has no "
-                    "active writer"
-                )
-            # Ordering: unsliced pairs must be graph-ordered; sliced pairs
-            # are checked index-to-index (crossdep covers its own halo).
-            for writer in table.writers:
-                w_inst = self.components[writer.instance_id]
-                w_desc = None
-                for reader in table.readers:
-                    r_inst = self.components[reader.instance_id]
-                    if (
-                        w_inst.slice is not None
-                        and r_inst.slice is not None
-                        and w_inst.slice[0] != r_inst.slice[0]
-                    ):
-                        continue
-                    if w_desc is None:
-                        w_desc = graph.descendants(writer.instance_id)
-                    if reader.instance_id not in w_desc:
-                        raise ValidationError(
-                            f"stream {table.name!r}: reader "
-                            f"{reader.instance_id!r} is not scheduled after "
-                            f"writer {writer.instance_id!r}; the task graph "
-                            "does not order them"
-                        )
 
     # -- prediction support ---------------------------------------------------
 
@@ -499,3 +472,90 @@ class Program:
             f"Program({self.name!r}, components={len(self.components)}, "
             f"managers={len(self.managers)}, options={len(self.options)})"
         )
+
+
+@dataclass(frozen=True)
+class StreamProblem:
+    """One stream-sanity violation found in a built configuration.
+
+    ``kind`` is one of ``multiple-writers`` / ``no-writer`` / ``unordered``;
+    the lint engine maps these to diagnostic codes X302 / X205 / X303.
+    ``instances`` names the offending component instance ids.
+    """
+
+    kind: str
+    stream: str
+    message: str
+    instances: tuple[str, ...] = ()
+
+
+def stream_problems(
+    program: Program, graph: TaskGraph, streams: dict[str, StreamTable]
+) -> list[StreamProblem]:
+    """All stream-sanity violations of one configuration (collect-all).
+
+    The checks mirror the paper's stream model: one logical writer per
+    stream, every read preceded by the write of the same iteration, and
+    sliced producer/consumer pairs matched index-to-index (crossdep covers
+    its own halo through graph edges).
+    """
+    problems: list[StreamProblem] = []
+    for table in streams.values():
+        defs = {
+            program.components[w.instance_id].definition_id for w in table.writers
+        }
+        if len(defs) > 1:
+            problems.append(
+                StreamProblem(
+                    kind="multiple-writers",
+                    stream=table.name,
+                    message=(
+                        f"stream {table.name!r} has multiple logical writers: "
+                        f"{sorted(defs)}"
+                    ),
+                    instances=tuple(sorted(w.instance_id for w in table.writers)),
+                )
+            )
+        if table.readers and not table.writers:
+            problems.append(
+                StreamProblem(
+                    kind="no-writer",
+                    stream=table.name,
+                    message=(
+                        f"stream {table.name!r} is read by "
+                        f"{[r.instance_id for r in table.readers]} but has no "
+                        "active writer"
+                    ),
+                    instances=tuple(sorted(r.instance_id for r in table.readers)),
+                )
+            )
+        # Ordering: unsliced pairs must be graph-ordered; sliced pairs
+        # are checked index-to-index (crossdep covers its own halo).
+        for writer in table.writers:
+            w_inst = program.components[writer.instance_id]
+            w_desc = None
+            for reader in table.readers:
+                r_inst = program.components[reader.instance_id]
+                if (
+                    w_inst.slice is not None
+                    and r_inst.slice is not None
+                    and w_inst.slice[0] != r_inst.slice[0]
+                ):
+                    continue
+                if w_desc is None:
+                    w_desc = graph.descendants(writer.instance_id)
+                if reader.instance_id not in w_desc:
+                    problems.append(
+                        StreamProblem(
+                            kind="unordered",
+                            stream=table.name,
+                            message=(
+                                f"stream {table.name!r}: reader "
+                                f"{reader.instance_id!r} is not scheduled after "
+                                f"writer {writer.instance_id!r}; the task graph "
+                                "does not order them"
+                            ),
+                            instances=(writer.instance_id, reader.instance_id),
+                        )
+                    )
+    return problems

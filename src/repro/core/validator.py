@@ -19,6 +19,12 @@ Checks performed (each with a test in ``tests/core/test_validator.py``):
    when literal, at expansion when parametric);
 9. with a registry: component classes exist, stream bindings name exactly
    the class's declared ports, init params satisfy the class schema.
+
+The checks are built on the collect-all diagnostic machinery of
+:mod:`repro.analysis.diagnostics`: :func:`collect_diagnostics` reports
+**every** violation (codes ``X101``–``X117``, with source lines), and
+:func:`validate` keeps the historical library API by raising a single
+:class:`~repro.errors.ValidationError` that aggregates all of them.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ from __future__ import annotations
 import re
 from typing import Mapping
 
+from repro.analysis.diagnostics import DiagnosticBag, Severity
 from repro.core.ast import (
     BodyNode,
     CallNode,
@@ -39,7 +46,7 @@ from repro.core.ast import (
 from repro.core.ports import PortSpec
 from repro.errors import ComponentError, ValidationError
 
-__all__ = ["validate"]
+__all__ = ["validate", "collect_diagnostics"]
 
 _PLACEHOLDER = re.compile(r"\$\{([^}]*)\}")
 
@@ -50,17 +57,27 @@ def _placeholders(value: object) -> list[str]:
     return []
 
 
-def _check_placeholders(proc: Procedure, value: object, what: str) -> None:
+def _check_placeholders(
+    bag: DiagnosticBag,
+    proc: Procedure,
+    value: object,
+    what: str,
+    line: int | None = None,
+) -> None:
     formals = proc.formal_param_names() | proc.formal_stream_names()
     for name in _placeholders(value):
         if not name:
-            raise ValidationError(
-                f"{what} in procedure {proc.name!r} has an empty ${{}} placeholder"
+            bag.report(
+                "X108",
+                f"{what} in procedure {proc.name!r} has an empty ${{}} placeholder",
+                line=line,
             )
-        if name not in formals:
-            raise ValidationError(
+        elif name not in formals:
+            bag.report(
+                "X108",
                 f"{what} in procedure {proc.name!r} references unknown formal "
-                f"${{{name}}}"
+                f"${{{name}}}",
+                line=line,
             )
 
 
@@ -75,7 +92,7 @@ def _iter_calls(body: tuple[BodyNode, ...]):
             yield from _iter_calls(node.body)
 
 
-def _check_call_graph_acyclic(spec: Spec) -> None:
+def _check_call_graph_acyclic(bag: DiagnosticBag, spec: Spec) -> None:
     edges: dict[str, set[str]] = {
         name: {c.procedure for c in _iter_calls(proc.body)}
         for name, proc in spec.procedures.items()
@@ -91,10 +108,13 @@ def _check_call_graph_acyclic(spec: Spec) -> None:
                 continue  # unknown callee reported elsewhere
             if color[callee] == GRAY:
                 cycle = stack[stack.index(callee):] + [callee]
-                raise ValidationError(
+                bag.report(
+                    "X104",
                     "recursive procedure calls are not supported: "
-                    + " -> ".join(cycle)
+                    + " -> ".join(cycle),
+                    line=spec.procedures[callee].line,
                 )
+                continue
             if color[callee] == WHITE:
                 visit(callee, stack)
         stack.pop()
@@ -108,10 +128,12 @@ def _check_call_graph_acyclic(spec: Spec) -> None:
 class _ProcedureChecker:
     def __init__(
         self,
+        bag: DiagnosticBag,
         spec: Spec,
         proc: Procedure,
         registry: Mapping[str, PortSpec] | None,
     ) -> None:
+        self.bag = bag
         self.spec = spec
         self.proc = proc
         self.registry = registry
@@ -120,11 +142,13 @@ class _ProcedureChecker:
     def run(self) -> None:
         self._check_body(self.proc.body, inside_manager=False)
 
-    def _register_instance(self, name: str, what: str) -> None:
+    def _register_instance(self, name: str, what: str, line: int | None) -> None:
         if name in self.instance_names:
-            raise ValidationError(
+            self.bag.report(
+                "X107",
                 f"duplicate {what} instance name {name!r} in procedure "
-                f"{self.proc.name!r}"
+                f"{self.proc.name!r}",
+                line=line,
             )
         self.instance_names.add(name)
 
@@ -140,34 +164,47 @@ class _ProcedureChecker:
                 self._check_manager(node)
             elif isinstance(node, OptionNode):
                 if not inside_manager:
-                    raise ValidationError(
+                    self.bag.report(
+                        "X109",
                         f"option {node.name!r} in procedure {self.proc.name!r} "
-                        "is not contained in any manager"
+                        "is not contained in any manager",
+                        line=node.line,
                     )
                 self._check_body(node.body, inside_manager=True)
                 for bp in node.bypasses:
-                    _check_placeholders(self.proc, bp.src, f"bypass of option {node.name!r}")
-                    _check_placeholders(self.proc, bp.dst, f"bypass of option {node.name!r}")
+                    _check_placeholders(
+                        self.bag, self.proc, bp.src,
+                        f"bypass of option {node.name!r}", bp.line,
+                    )
+                    _check_placeholders(
+                        self.bag, self.proc, bp.dst,
+                        f"bypass of option {node.name!r}", bp.line,
+                    )
             else:  # pragma: no cover - parser prevents this
                 raise ValidationError(f"unknown body node {type(node).__name__}")
 
     def _check_component(self, comp: ComponentNode) -> None:
-        self._register_instance(comp.name, "component")
+        self._register_instance(comp.name, "component", comp.line)
         for port, ref in comp.streams.items():
             _check_placeholders(
-                self.proc, ref, f"stream binding {port!r} of component {comp.name!r}"
+                self.bag, self.proc, ref,
+                f"stream binding {port!r} of component {comp.name!r}", comp.line,
             )
         for pname, value in comp.params.items():
             _check_placeholders(
-                self.proc, value, f"param {pname!r} of component {comp.name!r}"
+                self.bag, self.proc, value,
+                f"param {pname!r} of component {comp.name!r}", comp.line,
             )
         if self.registry is not None:
             spec = self.registry.get(comp.class_name)
             if spec is None:
-                raise ValidationError(
+                self.bag.report(
+                    "X114",
                     f"component {comp.name!r} uses unknown class "
-                    f"{comp.class_name!r}"
+                    f"{comp.class_name!r}",
+                    line=comp.line,
                 )
+                return
             declared = set(spec.all_ports)
             bound = set(comp.streams)
             if bound != declared:
@@ -178,22 +215,29 @@ class _ProcedureChecker:
                     parts.append(f"unbound ports {missing}")
                 if extra:
                     parts.append(f"unknown ports {extra}")
-                raise ValidationError(
+                self.bag.report(
+                    "X115",
                     f"component {comp.name!r} (class {comp.class_name!r}): "
-                    + "; ".join(parts)
+                    + "; ".join(parts),
+                    line=comp.line,
                 )
             try:
                 spec.check_params(comp.class_name, set(comp.params))
             except ComponentError as exc:
-                raise ValidationError(f"component {comp.name!r}: {exc}") from exc
+                self.bag.report(
+                    "X116", f"component {comp.name!r}: {exc}", line=comp.line
+                )
 
     def _check_call(self, call: CallNode) -> None:
-        self._register_instance(call.name, "call")
+        self._register_instance(call.name, "call", call.line)
         callee = self.spec.procedures.get(call.procedure)
         if callee is None:
-            raise ValidationError(
-                f"call {call.name!r} targets unknown procedure {call.procedure!r}"
+            self.bag.report(
+                "X103",
+                f"call {call.name!r} targets unknown procedure {call.procedure!r}",
+                line=call.line,
             )
+            return
         # Stream arguments must cover the formals exactly.
         formals = callee.formal_stream_names()
         args = set(call.streams)
@@ -205,15 +249,19 @@ class _ProcedureChecker:
                 parts.append(f"missing stream args {missing}")
             if extra:
                 parts.append(f"unknown stream args {extra}")
-            raise ValidationError(
-                f"call {call.name!r} -> {call.procedure!r}: " + "; ".join(parts)
+            self.bag.report(
+                "X105",
+                f"call {call.name!r} -> {call.procedure!r}: " + "; ".join(parts),
+                line=call.line,
             )
         # Param arguments: subset of formals; all non-default formals given.
         param_formals = {f.name: f for f in callee.param_formals}
         unknown = sorted(set(call.params) - set(param_formals))
         if unknown:
-            raise ValidationError(
-                f"call {call.name!r} -> {call.procedure!r}: unknown params {unknown}"
+            self.bag.report(
+                "X106",
+                f"call {call.name!r} -> {call.procedure!r}: unknown params {unknown}",
+                line=call.line,
             )
         missing = sorted(
             name
@@ -221,34 +269,47 @@ class _ProcedureChecker:
             if formal.default is None and name not in call.params
         )
         if missing:
-            raise ValidationError(
+            self.bag.report(
+                "X106",
                 f"call {call.name!r} -> {call.procedure!r}: missing required "
-                f"params {missing}"
+                f"params {missing}",
+                line=call.line,
             )
         for sname, ref in call.streams.items():
-            _check_placeholders(self.proc, ref, f"stream arg {sname!r} of call {call.name!r}")
+            _check_placeholders(
+                self.bag, self.proc, ref,
+                f"stream arg {sname!r} of call {call.name!r}", call.line,
+            )
         for pname, value in call.params.items():
-            _check_placeholders(self.proc, value, f"param {pname!r} of call {call.name!r}")
+            _check_placeholders(
+                self.bag, self.proc, value,
+                f"param {pname!r} of call {call.name!r}", call.line,
+            )
 
     def _check_parallel(self, par: ParallelNode, *, inside_manager: bool) -> None:
         if par.n is not None:
-            _check_placeholders(self.proc, par.n, "parallel n")
+            _check_placeholders(self.bag, self.proc, par.n, "parallel n", par.line)
             if isinstance(par.n, bool) or (
                 isinstance(par.n, (int, float)) and not isinstance(par.n, bool)
                 and (not float(par.n).is_integer() or int(par.n) < 1)
             ):
-                raise ValidationError(
-                    f"parallel n must be a positive integer, got {par.n!r}"
+                self.bag.report(
+                    "X112",
+                    f"parallel n must be a positive integer, got {par.n!r}",
+                    line=par.line,
                 )
         for pb in par.parblocks:
             if not pb:
-                raise ValidationError(
-                    f"empty <parblock> in procedure {self.proc.name!r}"
+                self.bag.report(
+                    "X113",
+                    f"empty <parblock> in procedure {self.proc.name!r}",
+                    line=par.line,
                 )
+                continue
             self._check_body(pb, inside_manager=inside_manager)
 
     def _check_manager(self, mgr: ManagerNode) -> None:
-        self._register_instance(mgr.name, "manager")
+        self._register_instance(mgr.name, "manager", mgr.line)
         # Options belonging to this manager: any depth below, but not
         # crossing into a nested manager.
         options: dict[str, OptionNode] = {}
@@ -257,9 +318,11 @@ class _ProcedureChecker:
             for node in body:
                 if isinstance(node, OptionNode):
                     if node.name in options:
-                        raise ValidationError(
+                        self.bag.report(
+                            "X110",
                             f"manager {mgr.name!r} has duplicate option "
-                            f"{node.name!r}"
+                            f"{node.name!r}",
+                            line=node.line,
                         )
                     options[node.name] = node
                     collect(node.body)
@@ -273,12 +336,50 @@ class _ProcedureChecker:
             if handler.action in ("enable", "disable", "toggle"):
                 assert handler.option is not None  # parser guarantees
                 if handler.option not in options:
-                    raise ValidationError(
+                    self.bag.report(
+                        "X111",
                         f"manager {mgr.name!r}: handler for event "
                         f"{handler.event!r} references unknown option "
-                        f"{handler.option!r}"
+                        f"{handler.option!r}",
+                        line=handler.line,
                     )
         self._check_body(mgr.body, inside_manager=True)
+
+
+def collect_diagnostics(
+    spec: Spec, *, registry: Mapping[str, PortSpec] | None = None
+) -> DiagnosticBag:
+    """Run all semantic checks, collecting every violation.
+
+    Unlike :func:`validate` this never raises on semantic problems; it
+    returns a :class:`~repro.analysis.diagnostics.DiagnosticBag` whose
+    entries carry stable codes and source lines.  ``xspcl lint`` and
+    ``xspcl validate`` are built on this entry point.
+    """
+    bag = DiagnosticBag()
+    if "main" not in spec.procedures:
+        bag.report("X101", "specification has no procedure named 'main'")
+    else:
+        main = spec.procedures["main"]
+        if main.stream_formals or main.param_formals:
+            bag.report(
+                "X102",
+                "procedure 'main' must not declare formal parameters",
+                line=main.line,
+            )
+    for proc in spec.procedures.values():
+        for formal in proc.param_formals:
+            if _placeholders(formal.default):
+                bag.report(
+                    "X117",
+                    f"procedure {proc.name!r}: default of param "
+                    f"{formal.name!r} must be a literal, not a placeholder",
+                    line=proc.line,
+                )
+    _check_call_graph_acyclic(bag, spec)
+    for proc in spec.procedures.values():
+        _ProcedureChecker(bag, spec, proc, registry).run()
+    return bag
 
 
 def validate(spec: Spec, *, registry: Mapping[str, PortSpec] | None = None) -> Spec:
@@ -287,20 +388,21 @@ def validate(spec: Spec, *, registry: Mapping[str, PortSpec] | None = None) -> S
     ``registry`` maps component class names to :class:`PortSpec`; when
     given, component classes, port bindings and param schemas are checked
     too.
+
+    Raises :class:`~repro.errors.ValidationError` aggregating **all**
+    violations (one per line); the exception's ``diagnostics`` attribute
+    holds the structured :class:`Diagnostic` list.
     """
-    if "main" not in spec.procedures:
-        raise ValidationError("specification has no procedure named 'main'")
-    main = spec.procedures["main"]
-    if main.stream_formals or main.param_formals:
-        raise ValidationError("procedure 'main' must not declare formal parameters")
-    for proc in spec.procedures.values():
-        for formal in proc.param_formals:
-            if _placeholders(formal.default):
-                raise ValidationError(
-                    f"procedure {proc.name!r}: default of param "
-                    f"{formal.name!r} must be a literal, not a placeholder"
-                )
-    _check_call_graph_acyclic(spec)
-    for proc in spec.procedures.values():
-        _ProcedureChecker(spec, proc, registry).run()
+    bag = collect_diagnostics(spec, registry=registry)
+    errors = [d for d in bag.sorted() if d.severity >= Severity.ERROR]
+    if errors:
+        if len(errors) == 1:
+            message = errors[0].message
+        else:
+            message = f"{len(errors)} validation errors:\n" + "\n".join(
+                "  " + d.message for d in errors
+            )
+        exc = ValidationError(message)
+        exc.diagnostics = errors  # type: ignore[attr-defined]
+        raise exc
     return spec

@@ -25,13 +25,17 @@ from __future__ import annotations
 from repro.core.program import ComponentInstance, ProgramGraph
 from repro.graph.taskgraph import TaskGraph
 
-__all__ = ["group_linear_chains", "GROUP_SEPARATOR"]
+__all__ = ["group_linear_chains", "find_linear_chains", "GROUP_SEPARATOR"]
 
 GROUP_SEPARATOR = "+"
 
 
-def _chain_heads(graph: TaskGraph) -> list[list[str]]:
-    """Maximal linear chains of fusable task nodes (length >= 2)."""
+def find_linear_chains(graph: TaskGraph) -> list[list[str]]:
+    """Maximal linear chains of fusable task nodes (length >= 2).
+
+    Public so the lint pass (X401, ``repro.analysis.perf``) can point at
+    fusion opportunities without committing to the rewrite.
+    """
 
     def fusable_edge(u: str, v: str) -> bool:
         nu, nv = graph.node(u), graph.node(v)
@@ -79,7 +83,7 @@ def group_linear_chains(pg: ProgramGraph) -> ProgramGraph:
     option states) is shared with the input.
     """
     graph = pg.graph
-    chains = _chain_heads(graph)
+    chains = find_linear_chains(graph)
     if not chains:
         return pg
     member_of: dict[str, str] = {}

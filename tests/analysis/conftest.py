@@ -1,0 +1,80 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_string
+from repro.components.registry import default_ports, default_registry
+
+
+@pytest.fixture(scope="session")
+def ports():
+    return default_ports()
+
+
+@pytest.fixture(scope="session")
+def classes():
+    return default_registry()
+
+
+def wrap(body: str, extra_procs: str = "") -> str:
+    """Wrap a main body (and optional extra procedures) in a spec skeleton."""
+    return (
+        '<?xml version="1.0" ?>\n'
+        '<xspcl version="1.0">\n'
+        f"{extra_procs}"
+        '  <procedure name="main">\n'
+        "    <body>\n"
+        f"{body}"
+        "    </body>\n"
+        "  </procedure>\n"
+        "</xspcl>\n"
+    )
+
+
+def source(name: str, out: str) -> str:
+    return (
+        f'<component name="{name}" class="luma_source">'
+        f'<stream port="output" ref="{out}"/>'
+        '<param name="width" value="8"/><param name="height" value="8"/>'
+        "</component>\n"
+    )
+
+
+def blur(name: str, inp: str, out: str, size: int = 3) -> str:
+    return (
+        f'<component name="{name}" class="blur_h_field">'
+        f'<stream port="input" ref="{inp}"/>'
+        f'<stream port="output" ref="{out}"/>'
+        '<param name="width" value="8"/><param name="height" value="8"/>'
+        f'<param name="size" value="{size}"/>'
+        "</component>\n"
+    )
+
+
+def sink(name: str, inp: str) -> str:
+    return (
+        f'<component name="{name}" class="plane_sink">'
+        f'<stream port="input" ref="{inp}"/>'
+        '<param name="width" value="8"/><param name="height" value="8"/>'
+        "</component>\n"
+    )
+
+
+def timer(queue: str = "ui", event: str = "e") -> str:
+    return (
+        '<component name="timer" class="timer">'
+        f'<param name="queue" value="{queue}"/>'
+        '<param name="period" value="4"/>'
+        f'<param name="event" value="{event}"/>'
+        "</component>\n"
+    )
+
+
+#: A well-formed source -> blur -> sink pipeline (lints with only X401).
+CLEAN = wrap(source("src", "raw") + blur("b", "raw", "out") + sink("snk", "out"))
+
+
+def codes_of(text: str, ports, classes=None) -> set[str]:
+    return {d.code for d in lint_string(text, ports=ports, classes=classes)}

@@ -1,0 +1,36 @@
+"""docs/lint.md must document every diagnostic code (and nothing stale)."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import CODES, FAMILIES
+
+DOCS = Path(__file__).resolve().parents[2] / "docs" / "lint.md"
+
+
+def test_every_code_has_a_docs_section():
+    text = DOCS.read_text(encoding="utf-8")
+    documented = set(re.findall(r"^###\s+(X\d{3})\b", text, flags=re.M))
+    missing = set(CODES) - documented
+    stale = documented - set(CODES)
+    assert not missing, f"codes missing from docs/lint.md: {sorted(missing)}"
+    assert not stale, f"docs/lint.md documents retired codes: {sorted(stale)}"
+
+
+def test_docs_mention_every_family():
+    text = DOCS.read_text(encoding="utf-8").lower()
+    for family in FAMILIES:
+        assert family in text
+
+
+def test_docs_state_default_severities():
+    """Each section heading carries the code's default severity."""
+    text = DOCS.read_text(encoding="utf-8")
+    for code, info in CODES.items():
+        m = re.search(rf"^###\s+{code}\b.*$", text, flags=re.M)
+        assert m is not None
+        assert str(info.severity) in m.group(0).lower(), (
+            f"{code} heading should mention severity {info.severity}"
+        )

@@ -1,0 +1,89 @@
+"""Tests for the diagnostic framework itself (codes, bag, renderers)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    FAMILIES,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    render_json,
+    render_text,
+)
+
+
+def test_severity_ordering_and_parse():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert Severity.parse("warning") is Severity.WARNING
+    assert str(Severity.ERROR) == "error"
+    with pytest.raises(ValueError):
+        Severity.parse("fatal")
+
+
+def test_catalogue_is_complete_and_consistent():
+    # at least ten analysis codes beyond the validation family, all
+    # families populated
+    per_family = {f: [c for c, i in CODES.items() if i.family == f]
+                  for f in FAMILIES}
+    assert all(per_family.values()), per_family
+    analysis_codes = [c for c, i in CODES.items() if i.family != "validation"]
+    assert len(analysis_codes) >= 10
+    for code, info in CODES.items():
+        assert info.code == code
+        assert code.startswith("X") and code[1:].isdigit()
+
+
+def test_unknown_code_rejected():
+    bag = DiagnosticBag()
+    with pytest.raises(KeyError):
+        bag.report("X999", "no such code")
+
+
+def test_bag_dedup_and_ordering():
+    bag = DiagnosticBag()
+    bag.report("X201", "dup", line=7)
+    bag.report("X201", "dup", line=7)
+    bag.report("X101", "first", line=2)
+    assert len(bag.sorted()) == 2
+    assert [d.line for d in bag.sorted()] == [2, 7]
+
+
+def test_severity_override():
+    bag = DiagnosticBag()
+    bag.report("X206", "downgraded", severity=Severity.INFO)
+    assert not bag.has_errors
+    assert bag.sorted()[0].severity == Severity.INFO
+
+
+def test_format_includes_path_line_code():
+    d = Diagnostic(code="X204", severity=Severity.WARNING,
+                   message="m", line=3, where="w", path="spec.xml")
+    assert d.format() == "spec.xml:3: warning: [X204] m (w)"
+
+
+def test_render_text_summary():
+    bag = DiagnosticBag()
+    assert "clean" in render_text(bag.sorted())
+    bag.report("X101", "boom")
+    bag.report("X204", "meh")
+    text = render_text(bag.sorted())
+    assert "1 error(s), 1 warning(s)" in text
+
+
+def test_render_json_schema():
+    bag = DiagnosticBag()
+    bag.report("X101", "boom", line=4)
+    payload = json.loads(render_json(bag.sorted()))
+    assert payload["summary"] == {
+        "errors": 1, "warnings": 0, "infos": 0, "total": 1,
+    }
+    (entry,) = payload["diagnostics"]
+    assert entry["code"] == "X101"
+    assert entry["severity"] == "error"
+    assert entry["line"] == 4
+    assert entry["family"] == "validation"

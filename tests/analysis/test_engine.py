@@ -1,0 +1,79 @@
+"""Engine-level tests: configuration enumeration, library API contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_spec
+from repro.analysis.engine import reachable_configurations
+from repro.apps import build_blur, build_jpip, build_pip
+from repro.core.expander import expand
+from repro.core.validator import validate
+from repro.errors import ValidationError
+
+from .conftest import wrap
+
+
+def test_blur35_reachable_configurations(ports):
+    """The toggle pair flips atomically: exactly two reachable configs."""
+    program = expand(build_blur(reconfigurable=True), ports)
+    configs = reachable_configurations(program)
+    assert len(configs) == 2
+    default, other = configs
+    assert list(default.values()).count(True) == 1
+    # the switch event flips both options together
+    assert all(other[k] != default[k] for k in default)
+
+
+def test_enumeration_is_capped(ports):
+    program = expand(build_pip(n_pips=2, reconfigurable=True), ports)
+    assert len(reachable_configurations(program, cap=1)) == 1
+
+
+@pytest.mark.parametrize(
+    "builder,kwargs",
+    [
+        (build_blur, dict(reconfigurable=True)),
+        (build_pip, dict(n_pips=2, reconfigurable=True)),
+        (build_jpip, dict(n_pips=2, reconfigurable=True)),
+    ],
+)
+def test_reconfigurable_apps_have_no_safety_errors(builder, kwargs, ports, classes):
+    diagnostics = lint_spec(builder(**kwargs), ports=ports, classes=classes)
+    assert not [d for d in diagnostics if d.severity.name == "ERROR"]
+
+
+def test_validate_still_raises_with_all_errors(ports):
+    """Library API contract: validate() raises, message lists every error."""
+    text = wrap(
+        '<component name="x" class="no_such_class">'
+        '<stream port="p" ref="s"/></component>\n'
+        '<call procedure="missing"/>\n'
+    )
+    from repro.core.parser import parse_string
+
+    with pytest.raises(ValidationError) as exc_info:
+        validate(parse_string(text), registry=ports)
+    message = str(exc_info.value)
+    assert "2 validation errors" in message
+    assert "no_such_class" in message
+    assert "missing" in message
+    assert all(d.code for d in exc_info.value.diagnostics)
+
+
+def test_lint_without_ports_runs_ast_passes_only(ports):
+    text = wrap(
+        '<component name="x" class="anything">'
+        '<stream port="p" ref="s"/></component>\n',
+        extra_procs=(
+            '  <procedure name="orphan"><body>'
+            '<component name="y" class="anything2">'
+            '<stream port="p" ref="t"/></component>'
+            "</body></procedure>\n"
+        ),
+    )
+    from repro.core.parser import parse_string
+
+    codes = {d.code for d in lint_spec(parse_string(text))}
+    assert "X201" in codes  # AST liveness ran
+    assert "X114" not in codes  # class checks need the registry
