@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench figures examples lint clean
+.PHONY: install test bench bench-perf figures examples lint clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -23,6 +23,11 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Wall-clock perf harness: rewrites BENCH_simulator.json and fails on a
+# >25% regression against the committed baseline (docs/performance.md).
+bench-perf:
+	PYTHONPATH=src $(PYTHON) -m repro bench --profile quick --check
 
 figures:
 	$(PYTHON) -m repro figures all

@@ -100,6 +100,88 @@ def bench_scheduler_full_run(benchmark):
     assert benchmark(run) == 12 * 50
 
 
+def bench_sim_runtime_pip2(benchmark):
+    """The simulator fast path: PiP-2 on 4 nodes, cost-only.
+
+    This is the reference wall-clock metric for the precompiled job-plan
+    optimization (docs/performance.md): unsliced components drive full
+    64-bucket traffic runs through the cache model under real core
+    contention.
+    """
+    from repro.apps import build_pip, make_program
+    from repro.components.registry import default_registry
+    from repro.spacecake import SimRuntime
+
+    program = make_program(build_pip(2), name="pip2")
+    registry = default_registry()
+
+    def run():
+        return SimRuntime(
+            program, registry, nodes=4, pipeline_depth=5, max_iterations=24
+        ).run()
+
+    result = benchmark(run)
+    assert result.completed_iterations == 24
+
+
+def bench_sim_runtime_jpip2(benchmark):
+    """Sliced-component stress: many short bucket runs per job."""
+    from repro.apps import build_jpip, make_program
+    from repro.components.registry import default_registry
+    from repro.spacecake import SimRuntime
+
+    program = make_program(build_jpip(2), name="jpip2")
+    registry = default_registry()
+
+    def run():
+        return SimRuntime(
+            program, registry, nodes=4, pipeline_depth=5, max_iterations=6
+        ).run()
+
+    result = benchmark(run)
+    assert result.completed_iterations == 6
+
+
+def bench_sim_runtime_reconfig_pip12(benchmark):
+    """Reconfiguration drain + JobPlan rebuilds on every toggle."""
+    from repro.apps import build_pip, make_program
+    from repro.components.registry import default_registry
+    from repro.spacecake import SimRuntime
+
+    program = make_program(
+        build_pip(2, reconfigurable=True, period=12), name="pip12"
+    )
+    registry = default_registry()
+
+    def run():
+        return SimRuntime(
+            program, registry, nodes=4, pipeline_depth=5, max_iterations=48
+        ).run()
+
+    result = benchmark(run)
+    assert result.completed_iterations == 48
+    assert result.reconfig_count > 0
+
+
+def bench_cache_access_traffic(benchmark):
+    """The cache model's batched inner loop, in isolation."""
+    from repro.spacecake.cache import CacheModel
+
+    cache = CacheModel(cores=4)
+    traffic = tuple(
+        (f"s{i}", 0, 64, 256, i % 2 == 0) for i in range(4)
+    )
+
+    def op(it=[0]):
+        k = it[0]
+        it[0] += 1
+        keyset = set()
+        cache.access_traffic(k % 4, k, traffic, 0.0, keyset)
+        cache.evict_many(keyset)
+
+    benchmark(op)
+
+
 def bench_expansion_pip2(benchmark):
     from repro.apps import build_pip, make_program
 

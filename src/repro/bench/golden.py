@@ -1,0 +1,101 @@
+"""Golden-equivalence snapshots of the figure sweeps.
+
+The PR that introduced the precompiled job-plan fast path (JobPlan +
+batched cache accesses + incremental scheduler state) promises *bit-
+identical* simulation semantics: same cycle counts, same iteration and
+reconfiguration counts, same cache hit/miss statistics.  This module
+collects every observable of the fig8/fig9/fig10 sweeps into one plain
+dict so the promise is testable:
+
+* ``collect_golden()`` runs the sweeps (at a reduced ``frames_scale`` so
+  the equivalence test stays fast) and returns the snapshot;
+* ``tests/bench/fixtures/golden_fig_sweeps.json`` holds the snapshot
+  taken from the *pre-optimization* implementation;
+* ``tests/bench/test_golden_equivalence.py`` asserts exact equality —
+  floats are compared after a JSON round-trip, which is lossless for
+  Python floats (shortest-repr round-tripping).
+
+Regenerate the fixture (only when the simulation *semantics* change on
+purpose, never to paper over a fast-path divergence) with::
+
+    PYTHONPATH=src python -m repro.bench.golden tests/bench/fixtures/golden_fig_sweeps.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Sequence
+
+from repro.bench.harness import Harness, RECONFIG_VARIANTS, STATIC_VARIANTS
+from repro.spacecake import SimResult
+from repro.spacecake.cache import AccessLevel
+
+__all__ = ["GOLDEN_SCALE", "GOLDEN_NODES", "collect_golden", "result_snapshot"]
+
+#: Scale / node grid of the committed fixture: small enough that the
+#: equivalence test runs in seconds, wide enough to cover every variant,
+#: the sequential baselines, multi-core cache interleavings, and the
+#: reconfiguration drain path.
+GOLDEN_SCALE = 0.25
+GOLDEN_NODES = (1, 2, 4, 9)
+
+
+def result_snapshot(result: SimResult) -> dict:
+    """Every deterministic observable of one simulated run."""
+    return {
+        "cycles": result.cycles,
+        "completed_iterations": result.completed_iterations,
+        "reconfig_count": result.reconfig_count,
+        "jobs_executed": result.jobs_executed,
+        "events_handled": result.events_handled,
+        "components_created": result.components_created,
+        "utilization": result.utilization,
+        "core_busy_cycles": list(result.core_busy_cycles),
+        "cache_accesses": {
+            lvl.value: result.cache_stats.accesses[lvl] for lvl in AccessLevel
+        },
+        "cache_bytes": {
+            lvl.value: result.cache_stats.bytes_by_level[lvl] for lvl in AccessLevel
+        },
+        "reconfig_log": [
+            [resume, dict(states)] for resume, states in result.reconfig_log
+        ],
+    }
+
+
+def collect_golden(
+    scale: float = GOLDEN_SCALE, nodes: Sequence[int] = GOLDEN_NODES
+) -> dict:
+    """Run the fig8/fig9/fig10 sweeps; return all observables as one dict."""
+    h = Harness(frames_scale=scale)
+    runs: dict[str, dict] = {}
+    for name in STATIC_VARIANTS:
+        runs[f"seq/{name}"] = result_snapshot(h.run_sequential(name))
+        for n in nodes:
+            runs[f"xspcl/{name}/n{n}"] = result_snapshot(h.run_xspcl(name, nodes=n))
+    for name in RECONFIG_VARIANTS:
+        for n in nodes:
+            runs[f"xspcl/{name}/n{n}"] = result_snapshot(h.run_xspcl(name, nodes=n))
+    return {
+        "scale": scale,
+        "nodes": list(nodes),
+        "runs": runs,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1:
+        print("usage: python -m repro.bench.golden OUTPUT.json", file=sys.stderr)
+        return 2
+    snapshot = collect_golden()
+    with open(args[0], "w") as fh:
+        json.dump(snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"golden snapshot ({len(snapshot['runs'])} runs) written to {args[0]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

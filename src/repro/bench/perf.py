@@ -1,0 +1,334 @@
+"""Tracked wall-clock performance harness for the SpaceCAKE simulator.
+
+The simulator is the reproduction's workhorse: every figure sweep, every
+calibration test, and every reconfiguration experiment runs through it,
+so its *Python* wall-clock throughput is a first-class artifact — distinct
+from the simulated cycle counts, which are pinned by the golden fixture
+(:mod:`repro.bench.golden`).  This module measures it three ways:
+
+* **figure sweeps** — end-to-end wall time of the fig8/fig9/fig10
+  regenerations (fresh :class:`~repro.bench.harness.Harness` per repeat,
+  so memoization never hides work);
+* **simulator micro-benchmarks** — one :class:`SimRuntime` run per
+  scenario, reporting wall seconds plus derived **jobs/sec** and
+  **events/sec** throughput;
+* **substrate micro-benchmarks** — the raw event-engine and scheduler
+  loops, isolating the two hot layers under the simulator.
+
+``python -m repro bench`` runs a profile, writes the results to
+``BENCH_simulator.json`` at the repo root, and compares wall-clock
+metrics against the committed baseline (``--check`` makes a >25%
+regression a failing exit, which is what CI runs).  All timings are
+best-of-``repeats`` to shed scheduler noise; rates are taken from the
+best repeat.  See ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = [
+    "PerfProfile", "PROFILES", "collect", "compare", "render_report",
+    "DEFAULT_OUTPUT", "DEFAULT_MAX_REGRESSION",
+]
+
+#: Written at the repo root; the committed copy is the CI baseline.
+DEFAULT_OUTPUT = "BENCH_simulator.json"
+
+#: A wall-clock metric may drift this much over the committed baseline
+#: before ``--check`` fails (generous: CI machines are noisy).
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """One measurement configuration.
+
+    ``scale`` is the harness frame scale; ``sweep_nodes`` bounds the
+    fig9/fig10 node axis (the full figures sweep 1..9 nodes, which is
+    overkill for a smoke run); ``micro_frames`` is the iteration count
+    of the simulator micro-benchmarks.
+    """
+
+    name: str
+    scale: float
+    repeats: int
+    sweep_nodes: tuple[int, ...]
+    micro_frames: int
+
+
+PROFILES: dict[str, PerfProfile] = {
+    # CI smoke: seconds, not minutes, yet still covers every variant,
+    # the reconfiguration drain, and multi-node cache interleaving.
+    "quick": PerfProfile("quick", scale=0.25, repeats=3,
+                         sweep_nodes=(1, 4, 9), micro_frames=48),
+    # Paper-scale sweeps; for tracking real numbers on a quiet machine.
+    "full": PerfProfile("full", scale=1.0, repeats=3,
+                        sweep_nodes=tuple(range(1, 10)), micro_frames=96),
+}
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best seconds, its result)."""
+    best = float("inf")
+    best_result: object = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best, best_result = elapsed, result
+    return best, best_result
+
+
+# -- figure sweeps --------------------------------------------------------------
+
+
+def _time_sweeps(profile: PerfProfile) -> dict[str, dict]:
+    from repro.bench import figures
+    from repro.bench.harness import Harness
+
+    sweeps: dict[str, dict] = {}
+    runs = [
+        ("fig8", lambda h: figures.fig8_sequential_overhead(h)),
+        ("fig9", lambda h: figures.fig9_speedup(h, nodes=profile.sweep_nodes)),
+        ("fig10", lambda h: figures.fig10_reconfiguration_overhead(
+            h, nodes=profile.sweep_nodes)),
+    ]
+    for name, fn in runs:
+        # A fresh Harness per repeat: the memo cache must not turn the
+        # second repeat into a no-op.
+        seconds, _ = _best_of(
+            lambda fn=fn: fn(Harness(frames_scale=profile.scale)),
+            profile.repeats,
+        )
+        sweeps[name] = {"seconds": seconds}
+    return sweeps
+
+
+# -- simulator micro-benchmarks ---------------------------------------------------
+
+
+def _sim_micro(name: str, *, nodes: int, frames: int, repeats: int) -> dict:
+    """Time one SimRuntime run; derive jobs/sec and events/sec."""
+    from repro.bench.harness import PIPELINE_DEPTH, Harness
+
+    harness = Harness()  # program construction is warmed up outside timing
+    program = harness.program(name, "xspcl")
+    registry = harness.registry
+
+    def run():
+        from repro.spacecake import SimRuntime
+
+        rt = SimRuntime(
+            program, registry, nodes=nodes, pipeline_depth=PIPELINE_DEPTH,
+            max_iterations=frames,
+        )
+        result = rt.run()
+        return result, rt.engine.events_processed
+
+    seconds, outcome = _best_of(run, repeats)
+    result, events = outcome
+    return {
+        "variant": name,
+        "nodes": nodes,
+        "frames": frames,
+        "seconds": seconds,
+        "jobs": result.jobs_executed,
+        "events": events,
+        "jobs_per_sec": result.jobs_executed / seconds,
+        "events_per_sec": events / seconds,
+    }
+
+
+def _engine_micro(repeats: int, n_events: int = 200_000) -> dict:
+    """Raw EventEngine throughput: schedule-and-drain no-op records."""
+    from repro.spacecake.devent import EventEngine
+
+    def run():
+        engine = EventEngine()
+        sink = [0]
+
+        def handler(record, sink=sink):
+            sink[0] += record
+
+        for i in range(n_events):
+            engine.schedule(float(i % 97), handler, 1)
+        engine.run()
+        return engine.events_processed
+
+    seconds, processed = _best_of(run, repeats)
+    return {
+        "events": processed,
+        "seconds": seconds,
+        "events_per_sec": processed / seconds,
+    }
+
+
+def _scheduler_micro(repeats: int, iterations: int = 200) -> dict:
+    """Scheduler admit/complete drain over a real app graph, jobs/sec.
+
+    Blur-3x3's task graph (sliced blur phases with crossdeps) drained in
+    LIFO order — pure scheduler work, no cost model or cache behind it.
+    """
+    from repro.apps import build_blur, make_program
+    from repro.hinch.scheduler import DataflowScheduler
+
+    pg = make_program(build_blur(3), name="bench-sched").build_graph()
+
+    def run():
+        sched = DataflowScheduler(
+            pg, pipeline_depth=5, max_iterations=iterations
+        )
+        frontier = list(sched.start())
+        count = 0
+        while frontier:
+            job = frontier.pop()
+            count += 1
+            frontier.extend(sched.complete(job))
+        if not sched.done:
+            raise ReproError("scheduler micro-benchmark did not drain")
+        return count
+
+    seconds, jobs = _best_of(run, repeats)
+    return {
+        "jobs": jobs,
+        "seconds": seconds,
+        "jobs_per_sec": jobs / seconds,
+    }
+
+
+def _time_micro(profile: PerfProfile) -> dict[str, dict]:
+    frames = profile.micro_frames
+    repeats = profile.repeats
+    return {
+        # PiP-2 on 4 nodes is the reference simulator benchmark: unsliced
+        # components (64-bucket traffic runs) under real contention.
+        "sim_pip2_n4": _sim_micro("PiP-2", nodes=4,
+                                  frames=frames, repeats=repeats),
+        # JPiP-2 stresses the sliced path: many short bucket runs per job.
+        "sim_jpip2_n4": _sim_micro("JPiP-2", nodes=4,
+                                   frames=max(2, frames // 4),
+                                   repeats=repeats),
+        # PiP-12 exercises the reconfiguration drain + plan rebuilds.
+        "sim_pip12_n4": _sim_micro("PiP-12", nodes=4,
+                                   frames=frames, repeats=repeats),
+        "event_engine": _engine_micro(repeats),
+        "scheduler": _scheduler_micro(repeats),
+    }
+
+
+# -- collection / comparison --------------------------------------------------------
+
+
+def collect(
+    profile: PerfProfile,
+    *,
+    scale: float | None = None,
+    repeats: int | None = None,
+) -> dict:
+    """Measure everything; returns the ``BENCH_simulator.json`` payload."""
+    if scale is not None or repeats is not None:
+        profile = PerfProfile(
+            name=profile.name,
+            scale=scale if scale is not None else profile.scale,
+            repeats=repeats if repeats is not None else profile.repeats,
+            sweep_nodes=profile.sweep_nodes,
+            micro_frames=profile.micro_frames,
+        )
+    return {
+        "schema": 1,
+        "profile": profile.name,
+        "scale": profile.scale,
+        "repeats": profile.repeats,
+        "sweep_nodes": list(profile.sweep_nodes),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "sweeps": _time_sweeps(profile),
+        "micro": _time_micro(profile),
+    }
+
+
+def _wall_metrics(payload: dict) -> dict[str, float]:
+    """Flatten every wall-clock metric to ``section/name -> seconds``."""
+    metrics: dict[str, float] = {}
+    for section in ("sweeps", "micro"):
+        for name, entry in payload.get(section, {}).items():
+            seconds = entry.get("seconds")
+            if isinstance(seconds, (int, float)):
+                metrics[f"{section}/{name}"] = float(seconds)
+    return metrics
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+) -> list[str]:
+    """Wall-clock regressions of ``current`` vs ``baseline``.
+
+    Returns human-readable descriptions of every metric that got more
+    than ``max_regression`` slower; empty means the comparison passes.
+    Only seconds are compared (the rates are redundant with them), and
+    only metrics present on both sides — a renamed or added benchmark is
+    not a regression.  Profiles must match: comparing a quick run to a
+    full baseline times different work.
+    """
+    if current.get("profile") != baseline.get("profile"):
+        raise ReproError(
+            f"profile mismatch: current={current.get('profile')!r} "
+            f"baseline={baseline.get('profile')!r}"
+        )
+    regressions = []
+    cur = _wall_metrics(current)
+    base = _wall_metrics(baseline)
+    for name in sorted(cur.keys() & base.keys()):
+        before, after = base[name], cur[name]
+        if before > 0 and after > before * (1.0 + max_regression):
+            regressions.append(
+                f"{name}: {after:.3f}s vs baseline {before:.3f}s "
+                f"({after / before - 1.0:+.0%}, limit "
+                f"{max_regression:+.0%})"
+            )
+    return regressions
+
+
+def render_report(payload: dict, baseline: dict | None = None) -> str:
+    """Human-readable summary of one collection (and baseline deltas)."""
+    lines = [
+        f"profile {payload['profile']} (scale {payload['scale']}, "
+        f"best of {payload['repeats']}) on Python {payload['python']}"
+    ]
+    base = _wall_metrics(baseline) if baseline else {}
+    for section in ("sweeps", "micro"):
+        lines.append(f"{section}:")
+        for name, entry in payload[section].items():
+            parts = [f"  {name:<16} {entry['seconds']:8.3f}s"]
+            if "jobs_per_sec" in entry:
+                parts.append(f"{entry['jobs_per_sec']:>12,.0f} jobs/s")
+            if "events_per_sec" in entry:
+                parts.append(f"{entry['events_per_sec']:>12,.0f} events/s")
+            before = base.get(f"{section}/{name}")
+            if before:
+                parts.append(f"[{entry['seconds'] / before - 1.0:+.0%} vs baseline]")
+            lines.append(" ".join(parts))
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Thin module entry point; ``python -m repro bench`` is the real CLI."""
+    from repro.cli import main as cli_main
+
+    args = list(argv) if argv is not None else sys.argv[1:]
+    return cli_main(["bench", *args])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,9 @@ Subcommands mirror the paper's toolchain (Fig. 1):
 * ``codegen``  — emit the standalone Python glue module;
 * ``figures``  — regenerate the paper's result figures (FIG8/FIG9/FIG10,
   ablations, prediction accuracy);
+* ``bench``    — wall-clock performance harness: time the figure sweeps
+  and the simulator micro-benchmarks, write ``BENCH_simulator.json``,
+  and compare against the committed baseline (docs/performance.md);
 * ``apps``     — write the built-in applications as XSPCL XML.
 """
 
@@ -235,6 +238,56 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import perf
+
+    profile = perf.PROFILES[args.profile]
+    baseline = None
+    baseline_path = Path(args.baseline) if args.baseline else Path(args.output)
+    if baseline_path.exists():
+        # Read before collect(): the default baseline is the committed
+        # copy of the very file we are about to overwrite.
+        baseline = json.loads(baseline_path.read_text())
+    elif args.baseline or args.check:
+        print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+        return 2
+
+    payload = perf.collect(profile, scale=args.scale, repeats=args.repeat)
+    if baseline is not None and "pre_optimization_reference" in baseline:
+        # The seed-implementation reference timings describe a fixed
+        # historical tree, not this run — carry them forward so a bench
+        # run never erases them from the committed baseline.
+        payload["pre_optimization_reference"] = baseline[
+            "pre_optimization_reference"
+        ]
+    Path(args.output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(perf.render_report(payload, baseline))
+    print(f"\nresults written to {args.output}")
+
+    if baseline is not None:
+        regressions = perf.compare(
+            payload, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            print(
+                f"\n{len(regressions)} wall-clock regression(s) vs "
+                f"{baseline_path}:",
+                file=sys.stderr,
+            )
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            if args.check:
+                return 1
+        else:
+            print(f"no wall-clock regressions vs {baseline_path} "
+                  f"(limit {args.max_regression:+.0%})")
+    return 0
+
+
 _APPS = {
     "pip1": ("pip", dict(n_pips=1)),
     "pip2": ("pip", dict(n_pips=2)),
@@ -262,6 +315,12 @@ def cmd_apps(args: argparse.Namespace) -> int:
     else:
         print(xml)
     return 0
+
+
+def _bench_profiles() -> list[str]:
+    from repro.bench.perf import PROFILES
+
+    return list(PROFILES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -325,6 +384,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0,
                    help="frame-count scale (1.0 = paper scale)")
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the simulator (figure sweeps + micro-benchmarks) and "
+             "compare against the committed baseline",
+    )
+    p.add_argument("--profile", choices=sorted(_bench_profiles()),
+                   default="quick",
+                   help="measurement profile (quick = CI smoke)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="override the profile's frame-count scale")
+    p.add_argument("--repeat", type=int, default=None,
+                   help="override the profile's best-of repeat count")
+    p.add_argument("-o", "--output", default="BENCH_simulator.json",
+                   help="result file (default: %(default)s at the repo root)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON to compare against (default: the "
+                        "pre-existing output file)")
+    p.add_argument("--max-regression", type=float, default=0.25,
+                   help="allowed wall-clock slowdown per metric "
+                        "(default: %(default)s)")
+    p.add_argument("--check", action="store_true",
+                   help="exit nonzero on any regression beyond the limit")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("apps", help="dump a built-in application as XSPCL")
     p.add_argument("app", choices=sorted(_APPS))

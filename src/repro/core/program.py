@@ -201,6 +201,12 @@ class Program:
         self.managers = managers
         self.options = options
         self.registry = registry
+        #: option-state keys whose stream wiring already validated clean;
+        #: building a graph is deterministic per configuration, so the
+        #: (expensive, reachability-walking) stream checks run once per
+        #: configuration instead of once per build — reconfiguration
+        #: toggles between a handful of configurations thousands of times.
+        self._validated_states: set[tuple[tuple[str, bool], ...]] = set()
 
     # -- introspection ------------------------------------------------------
 
@@ -357,9 +363,12 @@ class Program:
         aliases = self._alias_map(states)
         streams = self._stream_table(active, aliases)
         if check:
-            problems = stream_problems(self, graph, streams)
-            if problems:
-                raise ValidationError(problems[0].message)
+            states_key = tuple(sorted(states.items()))
+            if states_key not in self._validated_states:
+                problems = stream_problems(self, graph, streams)
+                if problems:
+                    raise ValidationError(problems[0].message)
+                self._validated_states.add(states_key)
         return ProgramGraph(
             graph=graph,
             streams=streams,

@@ -18,9 +18,16 @@ from dataclasses import dataclass
 __all__ = ["Job", "JobQueue"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, slots=True)
 class Job:
-    """One (iteration, node) execution."""
+    """One (iteration, node) execution.
+
+    ``slots=True``: a simulation sweep allocates one Job per node per
+    iteration (millions across the figure sweeps), so the per-instance
+    dict is pure overhead.  Jobs are never ordered — the queue is FIFO
+    and the simulator's event heap orders by (time, seq) — so no
+    ``order=True``.
+    """
 
     iteration: int
     node_id: str

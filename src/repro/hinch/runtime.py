@@ -246,16 +246,17 @@ class ThreadedRuntime:
                 manager.invoke(job.iteration, node.kind.removeprefix("manager_"))
         # barriers: nothing to do
         end = time.perf_counter()
-        self.tracer.record(
-            TraceEvent(
-                node_id=job.node_id,
-                iteration=job.iteration,
-                worker=worker,
-                start=start,
-                end=end,
-                kind=node.kind,
+        if self.tracer.enabled:
+            self.tracer.record(
+                TraceEvent(
+                    node_id=job.node_id,
+                    iteration=job.iteration,
+                    worker=worker,
+                    start=start,
+                    end=end,
+                    kind=node.kind,
+                )
             )
-        )
 
     def _request_stop(self) -> None:
         with self._lock:

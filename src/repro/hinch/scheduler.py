@@ -94,11 +94,11 @@ class DataflowScheduler:
             raise SchedulingError(f"pipeline_depth must be >= 1, got {pipeline_depth}")
         if max_iterations < 0:
             raise SchedulingError(f"max_iterations must be >= 0, got {max_iterations}")
-        self.pg = pg
         self.pipeline_depth = pipeline_depth
         self.max_iterations = max_iterations
         self.hooks: SchedulerHooks = hooks if hooks is not None else _NullHooks()
 
+        self._set_graph(pg)
         self._iters: dict[int, _IterationState] = {}
         self._last_done: dict[str, int] = {n: -1 for n in pg.graph.node_ids}
         self._next_admit = 0
@@ -133,6 +133,21 @@ class DataflowScheduler:
 
     _halted_forever = False  # set by request_stop
 
+    def _set_graph(self, pg: ProgramGraph) -> None:
+        """Install ``pg`` and precompute the per-iteration admission state.
+
+        Admission used to rebuild a full ``{node: in_degree}`` dict (and
+        ``complete`` re-queried successor lists) for every iteration; the
+        graph only changes on reconfiguration, so both are derived once
+        here and the per-admission work collapses to one ``dict.copy()``.
+        """
+        self.pg = pg
+        graph = pg.graph
+        self._succ = {n: graph.successors(n) for n in graph.node_ids}
+        self._indeg_template = {n: graph.in_degree(n) for n in graph.node_ids}
+        self._source_nodes = [n for n, d in self._indeg_template.items() if d == 0]
+        self._node_count = len(graph)
+
     # -- lifecycle -----------------------------------------------------------------
 
     def start(self) -> list[Job]:
@@ -161,16 +176,30 @@ class DataflowScheduler:
         self._last_done[job.node_id] = job.iteration
 
         ready: list[Job] = []
-        # (a) successors within the iteration
-        for succ in self.pg.graph.successors(job.node_id):
-            state.remaining[succ] -= 1
-            self._check_ready(succ, job.iteration, ready)
+        iteration = job.iteration
+        # (a) successors within the iteration (the _check_ready conditions
+        # inlined with the iteration state held in locals: this runs once
+        # per graph edge per iteration)
+        remaining = state.remaining
+        dispatched = state.dispatched
+        last_done = self._last_done
+        prev_iteration = iteration - 1
+        for succ in self._succ[job.node_id]:
+            left = remaining[succ] - 1
+            remaining[succ] = left
+            if (
+                left == 0
+                and succ not in dispatched
+                and last_done[succ] == prev_iteration
+            ):
+                dispatched.add(succ)
+                ready.append(Job(iteration=iteration, node_id=succ))
         # (b) the same node in the next iteration (cross-iteration dep)
-        nxt = self._iters.get(job.iteration + 1)
+        nxt = self._iters.get(iteration + 1)
         if nxt is not None:
-            self._check_ready(job.node_id, job.iteration + 1, ready)
+            self._check_ready(job.node_id, iteration + 1, ready)
 
-        if len(state.done) == len(self.pg.graph):
+        if len(state.done) == self._node_count:
             del self._iters[job.iteration]
             self._completed_iterations += 1
             self.hooks.on_iteration_complete(job.iteration)
@@ -211,13 +240,9 @@ class DataflowScheduler:
         ):
             k = self._next_admit
             self._next_admit += 1
-            remaining = {
-                n: self.pg.graph.in_degree(n) for n in self.pg.graph.node_ids
-            }
-            self._iters[k] = _IterationState(remaining=remaining)
-            for node_id, degree in remaining.items():
-                if degree == 0:
-                    self._check_ready(node_id, k, ready)
+            self._iters[k] = _IterationState(remaining=self._indeg_template.copy())
+            for node_id in self._source_nodes:
+                self._check_ready(node_id, k, ready)
         return ready
 
     def _after_iteration(self) -> list[Job]:
@@ -226,7 +251,7 @@ class DataflowScheduler:
             plans, self._pending_plans = self._pending_plans, []
             resume = self._next_admit
             new_pg = self.hooks.on_reconfigure(plans, resume)
-            self.pg = new_pg
+            self._set_graph(new_pg)
             self._reconfig_count += 1
             # Every node (kept or spliced) is considered caught-up: all
             # iterations below `resume` have completed globally.

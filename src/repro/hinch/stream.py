@@ -121,6 +121,9 @@ class StreamStore:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._streams: dict[str, Stream] = {}
+        #: cached list of all streams, invalidated on stream creation, so
+        #: the per-iteration release sweep doesn't rebuild it every time
+        self._snapshot: list[Stream] | None = None
 
     def stream(self, name: str) -> Stream:
         with self._lock:
@@ -128,12 +131,15 @@ class StreamStore:
             if stream is None:
                 stream = Stream(name)
                 self._streams[name] = stream
+                self._snapshot = None
             return stream
 
     def release_iteration(self, iteration: int) -> None:
         """Release the given iteration's slot in every stream."""
         with self._lock:
-            streams = list(self._streams.values())
+            streams = self._snapshot
+            if streams is None:
+                streams = self._snapshot = list(self._streams.values())
         for stream in streams:
             stream.release(iteration)
 

@@ -15,7 +15,7 @@ from typing import Iterable
 __all__ = ["TraceEvent", "Tracer"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     node_id: str
     iteration: int
@@ -38,6 +38,10 @@ class Tracer:
         self._events: list[TraceEvent] = []
 
     def record(self, event: TraceEvent) -> None:
+        # No-op fast path: bail before touching the lock when disabled.
+        # Hot callers (the simulator completes millions of jobs per
+        # sweep) additionally check ``enabled`` *before* constructing the
+        # TraceEvent, so a disabled tracer costs one attribute read.
         if not self.enabled:
             return
         with self._lock:

@@ -104,11 +104,11 @@ class CacheStats:
         return sum(self.accesses.values())
 
 
-@dataclass
-class _ObjectRecord:
-    core: int
-    core_clock: int  # bytes through that core's L1 at touch time
-    tile_clock: int  # bytes through the tile at touch time
+#: An object's residency record: ``(core, core_clock, tile_clock)`` — the
+#: core that last touched it and the per-core / per-tile byte clocks at
+#: that moment.  A plain tuple: millions are allocated per sweep and the
+#: fast path (:meth:`CacheModel.access_range`) rebuilds one per access.
+_Record = tuple[int, int, int]
 
 
 class CacheModel:
@@ -121,8 +121,20 @@ class CacheModel:
         self.config = config or CacheConfig()
         self._core_clock = [0] * cores
         self._tile_clock = 0
-        self._objects: dict[Hashable, _ObjectRecord] = {}
+        self._objects: dict[Hashable, _Record] = {}
         self.stats = CacheStats()
+        # CacheConfig is frozen: hoist its constants into one tuple so the
+        # hot access_range() pays a single attribute load for all of them.
+        cfg = self.config
+        self._constants = (
+            cfg.l1_bytes,
+            cfg.l2_bytes,
+            cfg.l1_cycles_per_byte,
+            cfg.l2_cycles_per_byte,
+            cfg.mem_cycles_per_byte,
+            cfg.graded_lo,
+            cfg.graded_hi,
+        )
 
     def classify(self, core: int, key: Hashable) -> AccessLevel:
         """Where would ``key`` be found by ``core`` right now?"""
@@ -130,11 +142,11 @@ class CacheModel:
         if record is None:
             return AccessLevel.MEM
         if (
-            record.core == core
-            and self._core_clock[core] - record.core_clock < self.config.l1_bytes
+            record[0] == core
+            and self._core_clock[core] - record[1] < self.config.l1_bytes
         ):
             return AccessLevel.L1
-        if self._tile_clock - record.tile_clock < self.config.l2_bytes:
+        if self._tile_clock - record[2] < self.config.l2_bytes:
             return AccessLevel.L2
         return AccessLevel.MEM
 
@@ -159,23 +171,139 @@ class CacheModel:
             if record is None:
                 cycles = self.config.cycles(AccessLevel.MEM, nbytes)
             else:
-                distance = self._tile_clock - record.tile_clock
+                distance = self._tile_clock - record[2]
                 cycles = self.config.graded_rate(distance) * nbytes
         self.stats.accesses[level] += 1
         self.stats.bytes_by_level[level] += nbytes
         # Advance clocks and refresh the record.
         self._core_clock[core] += nbytes
         self._tile_clock += nbytes
-        self._objects[key] = _ObjectRecord(
-            core=core,
-            core_clock=self._core_clock[core],
-            tile_clock=self._tile_clock,
-        )
+        self._objects[key] = (core, self._core_clock[core], self._tile_clock)
         return cycles
+
+    def access_range(
+        self,
+        core: int,
+        stream: str,
+        iteration: int,
+        start: int,
+        stop: int,
+        nbytes: int,
+        write: bool,
+        base: float,
+        keyset: set,
+    ) -> float:
+        """Touch buckets ``start..stop`` of ``(stream, iteration)`` in order.
+
+        Semantically identical to::
+
+            for bucket in range(start, stop):
+                key = (stream, iteration, bucket)
+                base += self.access(core, key, nbytes, write=write)
+                keyset.add(key)
+            return base
+
+        including float-accumulation order (``base`` is advanced one
+        access at a time, so totals are bit-identical to the unbatched
+        loop), statistics, and clock advancement — but with the per-call
+        overhead hoisted out of the bucket loop.
+        """
+        return self.access_traffic(
+            core, iteration, ((stream, start, stop, nbytes, write),), base, keyset
+        )
+
+    def access_traffic(
+        self,
+        core: int,
+        iteration: int,
+        traffic,
+        base: float,
+        keyset: set,
+    ) -> float:
+        """Run one job's whole traffic plan through the cache, in order.
+
+        ``traffic`` is a sequence of ``(stream, bucket_start, bucket_stop,
+        bytes_per_bucket, write)`` port entries (a :class:`JobPlan`'s
+        precompiled traffic).  Equivalent to one :meth:`access` per bucket
+        per entry — same float-accumulation order (so cycle totals are
+        bit-identical to the unbatched loop), same statistics, same clock
+        advancement — but the per-call overhead (attribute lookups, enum
+        hashing, stats-dict updates, record construction) is paid once
+        per *job* instead of once per bucket.  This is the simulator's
+        hot inner loop: an unsliced component touches all 64 slot buckets
+        per port per job, a sliced one a couple of buckets on each of
+        several ports.
+        """
+        if not 0 <= core < self.cores:
+            raise SimulationError(f"core {core} out of range 0..{self.cores - 1}")
+        (l1_bytes, l2_bytes, l1_rate, l2_rate, mem_rate,
+         graded_lo, graded_hi) = self._constants
+        objects = self._objects
+        core_clock = self._core_clock[core]
+        tile_clock = self._tile_clock
+        n_l1 = n_l2 = n_mem = 0
+        b_l1 = b_l2 = b_mem = 0
+        keyset_add = keyset.add
+        for stream, start, stop, nbytes, _write in traffic:
+            if nbytes < 0:
+                raise SimulationError(f"negative access size {nbytes}")
+            for bucket in range(start, stop):
+                key = (stream, iteration, bucket)
+                record = objects.get(key)
+                if record is None:
+                    n_mem += 1
+                    b_mem += nbytes
+                    base += mem_rate * nbytes
+                elif record[0] == core and core_clock - record[1] < l1_bytes:
+                    n_l1 += 1
+                    b_l1 += nbytes
+                    base += l1_rate * nbytes
+                else:
+                    distance = tile_clock - record[2]
+                    if distance < l2_bytes:
+                        n_l2 += 1
+                        b_l2 += nbytes
+                    else:
+                        n_mem += 1
+                        b_mem += nbytes
+                    # Inlined CacheConfig.graded_rate, operation for
+                    # operation, so accumulated cycles stay bit-identical
+                    # to access().
+                    d = distance / l2_bytes
+                    if d <= graded_lo:
+                        base += l2_rate * nbytes
+                    elif d >= graded_hi:
+                        base += mem_rate * nbytes
+                    else:
+                        frac = (d - graded_lo) / (graded_hi - graded_lo)
+                        base += (l2_rate + frac * (mem_rate - l2_rate)) * nbytes
+                core_clock += nbytes
+                tile_clock += nbytes
+                objects[key] = (core, core_clock, tile_clock)
+                keyset_add(key)
+        self._core_clock[core] = core_clock
+        self._tile_clock = tile_clock
+        stats = self.stats
+        if n_l1:
+            stats.accesses[AccessLevel.L1] += n_l1
+            stats.bytes_by_level[AccessLevel.L1] += b_l1
+        if n_l2:
+            stats.accesses[AccessLevel.L2] += n_l2
+            stats.bytes_by_level[AccessLevel.L2] += b_l2
+        if n_mem:
+            stats.accesses[AccessLevel.MEM] += n_mem
+            stats.bytes_by_level[AccessLevel.MEM] += b_mem
+        return base
 
     def evict(self, key: Hashable) -> None:
         """Forget an object (stream slot released)."""
         self._objects.pop(key, None)
+
+    def evict_many(self, keys) -> None:
+        """Forget a batch of objects (one iteration's stream slots)."""
+        pop = self._objects.pop
+        for key in keys:
+            pop(key, None)
 
     def evict_prefix(self, prefix: tuple) -> None:
         """Forget all objects whose tuple key starts with ``prefix``."""

@@ -1,15 +1,21 @@
 """A minimal discrete-event simulation engine.
 
-Events are ``(time, seq, callback)`` tuples in a binary heap; ``seq`` is a
-monotone tiebreaker so simultaneous events fire in schedule order, which
-keeps every simulation fully deterministic (a property the benchmark
-suite relies on: identical inputs -> identical cycle counts).
+Events are ``(time, seq, callback, record)`` tuples in a binary heap;
+``seq`` is a monotone tiebreaker so simultaneous events fire in schedule
+order, which keeps every simulation fully deterministic (a property the
+benchmark suite relies on: identical inputs -> identical cycle counts).
+
+``record`` is an optional argument passed to the callback when it fires.
+It lets a hot scheduling site (the simulator dispatches one completion
+per job) enqueue a single bound method plus a small completion record
+instead of allocating a fresh closure per event — the run loop is the
+only place that distinguishes the two forms.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable
+from typing import Any, Callable
 
 from repro.errors import SimulationError
 
@@ -20,7 +26,7 @@ class EventEngine:
     """Time-ordered callback dispatcher."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], Any]] = []
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -30,18 +36,26 @@ class EventEngine:
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at ``now + delay`` (delay >= 0)."""
+    def schedule(
+        self, delay: float, callback: Callable[..., None], record: Any = None
+    ) -> None:
+        """Schedule ``callback`` at ``now + delay`` (delay >= 0).
+
+        When ``record`` is not None the callback fires as
+        ``callback(record)``; otherwise as ``callback()``.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self.schedule_at(self._now + delay, callback)
+        self.schedule_at(self._now + delay, callback, record)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], record: Any = None
+    ) -> None:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        heapq.heappush(self._heap, (time, self._seq, callback, record))
         self._seq += 1
 
     def run(self, *, until: float | None = None, max_events: int | None = None) -> float:
@@ -52,22 +66,29 @@ class EventEngine:
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
+        heappop = heapq.heappop
+        heap = self._heap
         try:
             processed = 0
-            while self._heap:
-                time, _, callback = self._heap[0]
+            while heap:
+                entry = heap[0]
+                time = entry[0]
                 if until is not None and time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 self._now = time
-                callback()
+                record = entry[3]
+                if record is None:
+                    entry[2]()
+                else:
+                    entry[2](record)
                 processed += 1
-                self.events_processed += 1
                 if max_events is not None and processed >= max_events:
                     break
             return self._now
         finally:
+            self.events_processed += processed
             self._running = False
 
     @property

@@ -40,7 +40,7 @@ from repro.spacecake.costmodel import CostModel, CostParams
 from repro.spacecake.devent import EventEngine
 from repro.spacecake.machine import Machine, MachineConfig
 
-__all__ = ["SimRuntime", "SimResult"]
+__all__ = ["SimRuntime", "SimResult", "JobPlan", "SLOT_BUCKETS"]
 
 #: Region granularity of the cache model: every stream slot is split into
 #: this many equal buckets; a job touches the buckets its slice covers.
@@ -59,6 +59,108 @@ def _slot_buckets(slice_info: tuple[int, int] | None) -> range:
     lo = index * SLOT_BUCKETS // total
     hi = max(lo + 1, (index + 1) * SLOT_BUCKETS // total)
     return range(lo, min(hi, SLOT_BUCKETS))
+
+
+class JobPlan:
+    """Precompiled cost recipe for one task-graph node.
+
+    ``SimRuntime._job_cycles`` used to re-derive, for *every simulated
+    job*: the node's kind, its component instances, each instance's
+    :class:`~repro.spacecake.costmodel.JobCost`, the alias-resolved
+    stream name of every port, the slot-bucket range of the instance's
+    slice, and the per-bucket byte count.  None of that depends on the
+    iteration or the core — only on the :class:`ProgramGraph` — so a
+    plan is compiled once per node when the graph is (re)built and only
+    the cache accounting remains per-job.  Plans are rebuilt on
+    reconfiguration (``SimRuntime.on_reconfigure``) because splicing
+    changes the graph, the alias map, and the set of live instances.
+
+    ``fixed_cycles``
+        Non-None for barrier / manager pseudo-nodes: the whole job cost
+        (before the core-speed division).
+    ``overhead_cycles``
+        Per-job runtime overhead (dispatch + sync), for task nodes.
+    ``instances``
+        One ``(compute_cycles, traffic)`` pair per grouped component
+        instance; ``traffic`` is a tuple of
+        ``(stream, bucket_start, bucket_stop, bytes_per_bucket, write)``
+        with the stream name already alias-resolved and the per-bucket
+        byte part already truncated to int, exactly as the unbatched
+        loop did per job.
+    ``manager``
+        ``(qname, phase)`` for manager pseudo-nodes, else None.
+    ``run_instances``
+        The instance descriptors whose component actually executes at
+        completion time — pre-filtered by the runtime's ``execute`` flag
+        and the classes' ``always_execute``, both fixed between graph
+        rebuilds.  Empty for the common cost-only case, so completion
+        does no per-job instance walking at all.
+    """
+
+    __slots__ = (
+        "fixed_cycles", "overhead_cycles", "instances", "manager",
+        "run_instances",
+    )
+
+    def __init__(
+        self,
+        *,
+        fixed_cycles: float | None = None,
+        overhead_cycles: float = 0.0,
+        instances: tuple[tuple[float, tuple[tuple[str, int, int, int, bool], ...]], ...] = (),
+        manager: tuple[str, str] | None = None,
+        run_instances: tuple = (),
+    ) -> None:
+        self.fixed_cycles = fixed_cycles
+        self.overhead_cycles = overhead_cycles
+        self.instances = instances
+        self.manager = manager
+        self.run_instances = run_instances
+
+    @classmethod
+    def compile(cls, node, cost_model: CostModel, overhead_cycles: float,
+                aliases: Mapping[str, str], runnable=None) -> "JobPlan":
+        """Compile the plan for one :class:`TaskNode`.
+
+        ``runnable`` is an optional predicate over component instances:
+        those satisfying it are recorded in ``run_instances`` for
+        functional execution at completion time.
+        """
+        params = cost_model.params
+        if node.kind == "barrier":
+            return cls(fixed_cycles=params.barrier_cycles)
+        if node.kind in ("manager_enter", "manager_exit"):
+            return cls(
+                fixed_cycles=params.manager_invoke_cycles,
+                manager=(node.payload, node.kind.removeprefix("manager_")),
+            )
+        payload = node.payload
+        instances = payload if isinstance(payload, tuple) else (payload,)
+        inst_plans = []
+        for instance in instances:
+            cost = cost_model.job_cost(instance)
+            buckets = _slot_buckets(instance.slice)
+            nbuckets = len(buckets)
+            traffic = tuple(
+                (
+                    aliases.get(stream, stream),
+                    buckets.start,
+                    buckets.stop,
+                    int(t.nbytes / nbuckets),
+                    t.write,
+                )
+                for t in cost.traffic
+                if (stream := instance.streams.get(t.port)) is not None
+            )
+            inst_plans.append((cost.compute_cycles, traffic))
+        run_instances = (
+            tuple(i for i in instances if runnable(i)) if runnable is not None else ()
+        )
+        return cls(
+            overhead_cycles=overhead_cycles,
+            instances=tuple(inst_plans),
+            run_instances=run_instances,
+        )
 
 
 @dataclass
@@ -149,11 +251,39 @@ class SimRuntime:
         )
         self._pending: deque[Job] = deque()  # the central job queue
         self._stall_until = 0.0  # reconfiguration splice window
+        #: latest stall deadline a wakeup is already scheduled for, so a
+        #: reconfiguration stall enqueues exactly one pending wakeup no
+        #: matter how many blocked dispatches hit it
+        self._stall_wakeup_until = 0.0
         self._keys_by_iter: dict[int, set[Any]] = {}
         self.jobs_executed = 0
         self._ran = False
+        #: per-job runtime overhead: constant for the whole run (depends
+        #: only on the node count)
+        self._overhead_cycles = self.cost_model.overhead_cycles(
+            nodes=self.machine.nodes
+        )
+        self._plans: dict[str, JobPlan] = {}
+        self._rebuild_plans()
         #: (resume_iteration, option states) per applied reconfiguration
         self.reconfig_log: list[tuple[int, dict[str, bool]]] = []
+
+    def _rebuild_plans(self) -> None:
+        """(Re)compile one :class:`JobPlan` per node of the current graph."""
+        cost_model = self.cost_model
+        overhead = self._overhead_cycles
+        aliases = self.pg.aliases
+        live = self.host.live
+
+        def runnable(instance) -> bool:
+            return self.execute or type(live[instance.instance_id]).always_execute
+
+        self._plans = {
+            node.node_id: JobPlan.compile(
+                node, cost_model, overhead, aliases, runnable
+            )
+            for node in self.pg.graph
+        }
 
     def _make_pg(self, option_states: Mapping[str, bool] | None) -> ProgramGraph:
         pg = self.program.build_graph(option_states)
@@ -167,8 +297,9 @@ class SimRuntime:
 
     def on_iteration_complete(self, iteration: int) -> None:
         self.streams.release_iteration(iteration)
-        for key in self._keys_by_iter.pop(iteration, ()):
-            self.machine.cache.evict(key)
+        keys = self._keys_by_iter.pop(iteration, None)
+        if keys:
+            self.machine.cache.evict_many(keys)
 
     def on_reconfigure(
         self, plans: list[ReconfigPlan], resume_iteration: int
@@ -191,6 +322,7 @@ class SimRuntime:
             1, len(added) + len(removed)
         )
         self._stall_until = max(self._stall_until, self.engine.now + splice)
+        self._rebuild_plans()
         return new_pg
 
     # -- ReconfigController ---------------------------------------------------------
@@ -233,101 +365,100 @@ class SimRuntime:
     # -- cost accounting ------------------------------------------------------------------
 
     def _job_cycles(self, job: Job, core: int) -> float:
-        node = self.pg.graph.node(job.node_id)
-        params = self.cost_model.params
-        speed = self.machine.speed(core)
-        if node.kind == "barrier":
-            return params.barrier_cycles / speed
-        if node.kind in ("manager_enter", "manager_exit"):
-            return params.manager_invoke_cycles / speed
-        payload = node.payload
+        # All graph-dependent work (kind dispatch, instance grouping, cost
+        # lookup, alias resolution, slot bucketing) was precompiled into
+        # the node's JobPlan; only the cache accounting is per-job.
         # Grouped nodes (paper §4.1) carry several instances executed
         # back-to-back on one core: one job overhead, and their internal
         # stream traffic naturally hits L1 (write then immediate same-core
         # read of the same keys).
-        instances = payload if isinstance(payload, tuple) else (payload,)
-        cycles = self.cost_model.overhead_cycles(nodes=self.machine.nodes) / speed
-        aliases = self.pg.aliases
-        keyset = self._keys_by_iter.setdefault(job.iteration, set())
-        for instance in instances:
-            cost = self.cost_model.job_cost(instance)
-            cycles += cost.compute_cycles / speed
-            for traffic in cost.traffic:
-                stream = instance.streams.get(traffic.port)
-                if stream is None:
-                    continue
-                stream = aliases.get(stream, stream)
-                buckets = _slot_buckets(instance.slice)
-                part = traffic.nbytes / len(buckets)
-                for bucket in buckets:
-                    key = (stream, job.iteration, bucket)
-                    cycles += self.machine.cache.access(
-                        core, key, int(part), write=traffic.write
-                    )
-                    keyset.add(key)
+        plan = self._plans[job.node_id]
+        speed = self.machine.speed(core)
+        fixed = plan.fixed_cycles
+        if fixed is not None:
+            return fixed / speed
+        cycles = plan.overhead_cycles / speed
+        iteration = job.iteration
+        keyset = self._keys_by_iter.setdefault(iteration, set())
+        access_traffic = self.machine.cache.access_traffic
+        for compute_cycles, traffic in plan.instances:
+            cycles += compute_cycles / speed
+            if traffic:
+                cycles = access_traffic(core, iteration, traffic, cycles, keyset)
         return cycles
 
     # -- execution ------------------------------------------------------------------------
 
-    def _run_job_effects(self, job: Job) -> None:
-        """Functional side of the job, applied at its completion time."""
-        node = self.pg.graph.node(job.node_id)
-        if node.kind in ("manager_enter", "manager_exit"):
-            self.managers[node.payload].invoke(
-                job.iteration, node.kind.removeprefix("manager_")
-            )
+    def _run_job_effects(self, job: Job, plan: JobPlan) -> None:
+        """Functional side of the job, applied at its completion time.
+
+        The manager target and the (execute/always_execute-filtered) set
+        of instances to run were precompiled into the node's plan; the
+        common cost-only job skips this method entirely.
+        """
+        manager = plan.manager
+        if manager is not None:
+            self.managers[manager[0]].invoke(job.iteration, manager[1])
             return
-        if node.kind != "task":
-            return
-        payload = node.payload
-        instances = payload if isinstance(payload, tuple) else (payload,)
-        for instance in instances:
+        for instance in plan.run_instances:
             component = self.host.live[instance.instance_id]
-            if self.execute or type(component).always_execute:
-                ctx = JobContext(
-                    instance,
-                    job.iteration,
-                    self.streams,
-                    self.broker,
-                    self.pg.aliases,
-                    stop_requester=self.scheduler.request_stop,
-                )
-                component.run(ctx)
+            ctx = JobContext(
+                instance,
+                job.iteration,
+                self.streams,
+                self.broker,
+                self.pg.aliases,
+                stop_requester=self.scheduler.request_stop,
+            )
+            component.run(ctx)
 
     def _dispatch(self) -> None:
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
         if now < self._stall_until:
-            # The tile is splicing; try again when it finishes.
-            self.engine.schedule_at(self._stall_until, self._dispatch)
+            # The tile is splicing; try again when it finishes.  Several
+            # completions can hit the stall at the same instant — one
+            # pending wakeup suffices (and keeps the heap from filling
+            # with redundant events during long splice windows).
+            if self._stall_wakeup_until < self._stall_until:
+                self._stall_wakeup_until = self._stall_until
+                engine.schedule_at(self._stall_until, self._dispatch)
             return
-        while self._pending:
-            core = self.machine.acquire_core()
+        pending = self._pending
+        machine = self.machine
+        while pending:
+            core = machine.acquire_core()
             if core is None:
                 return
-            job = self._pending.popleft()
+            job = pending.popleft()
             cycles = self._job_cycles(job, core)
-            start = now
+            # A completion record instead of a per-job closure: one small
+            # tuple on the heap, dispatched to the single bound handler.
+            engine.schedule(cycles, self._finish, (job, core, cycles, now))
 
-            def finish(job=job, core=core, cycles=cycles, start=start) -> None:
-                self.machine.release_core(core, cycles)
-                self._run_job_effects(job)
-                self.jobs_executed += 1
-                self.tracer.record(
-                    TraceEvent(
-                        node_id=job.node_id,
-                        iteration=job.iteration,
-                        worker=core,
-                        start=start,
-                        end=self.engine.now,
-                        kind=self.pg.graph.node(job.node_id).kind
-                        if job.node_id in self.pg.graph
-                        else "task",
-                    )
+    def _finish(self, record: tuple[Job, int, float, float]) -> None:
+        """Completion handler for one dispatched job (an engine record)."""
+        job, core, cycles, start = record
+        self.machine.release_core(core, cycles)
+        plan = self._plans[job.node_id]
+        if plan.manager is not None or plan.run_instances:
+            self._run_job_effects(job, plan)
+        self.jobs_executed += 1
+        if self.tracer.enabled:
+            self.tracer.record(
+                TraceEvent(
+                    node_id=job.node_id,
+                    iteration=job.iteration,
+                    worker=core,
+                    start=start,
+                    end=self.engine.now,
+                    kind=self.pg.graph.node(job.node_id).kind
+                    if job.node_id in self.pg.graph
+                    else "task",
                 )
-                self._pending.extend(self.scheduler.complete(job))
-                self._dispatch()
-
-            self.engine.schedule(cycles, finish)
+            )
+        self._pending.extend(self.scheduler.complete(job))
+        self._dispatch()
 
     def run(self) -> SimResult:
         """Simulate to completion; returns cycle counts and statistics."""
