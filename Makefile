@@ -24,10 +24,12 @@ lint:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
-# Wall-clock perf harness: rewrites BENCH_simulator.json and fails on a
-# >25% regression against the committed baseline (docs/performance.md).
+# Wall-clock perf harnesses: rewrite BENCH_simulator.json /
+# BENCH_runtime.json and fail on a regression against the committed
+# baselines (>25% sim, >35% runtime — docs/performance.md).
 bench-perf:
 	PYTHONPATH=src $(PYTHON) -m repro bench --profile quick --check
+	PYTHONPATH=src $(PYTHON) -m repro bench --suite runtime --profile quick --check
 
 figures:
 	$(PYTHON) -m repro figures all

@@ -117,6 +117,7 @@ CODES: dict[str, CodeInfo] = _catalogue(
     ("X401", _I, "performance", "linear chain eligible for grouping fusion"),
     ("X402", _W, "performance", "slice count does not divide the frame height"),
     ("X403", _I, "performance", "component class has no cost profile"),
+    ("X404", _W, "performance", "slice replication exceeds the machine node count"),
 )
 
 FAMILIES: tuple[str, ...] = ("validation", "liveness", "concurrency", "performance")

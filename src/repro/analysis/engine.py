@@ -101,6 +101,7 @@ def lint_spec(
     ports: Mapping[str, PortSpec] | None = None,
     classes: Mapping[str, type] | None = None,
     name: str = "app",
+    machine_nodes: int | None = None,
 ) -> list[Diagnostic]:
     """Run all analysis passes over a parsed specification.
 
@@ -108,6 +109,8 @@ def lint_spec(
     directions); without it only the AST-level passes run, since stream
     tables need port directions.  ``classes`` optionally maps class names
     to implementations so the cost-model lint (X403) can inspect them.
+    ``machine_nodes`` is the deployment's worker count; when given, the
+    over-slicing lint (X404) flags replication wider than the machine.
     """
     bag = DiagnosticBag()
     bag.extend(collect_diagnostics(spec, registry=ports).items)
@@ -149,7 +152,8 @@ def lint_spec(
     liveness.check_dead_streams(bag, tables_per_config, instance_lines)
     concurrency.check_event_queues(bag, program)
     if default_pg is not None:
-        perf.run_perf_passes(bag, program, default_pg, classes)
+        perf.run_perf_passes(bag, program, default_pg, classes,
+                             machine_nodes=machine_nodes)
     return bag.sorted()
 
 
@@ -159,6 +163,7 @@ def lint_string(
     ports: Mapping[str, PortSpec] | None = None,
     classes: Mapping[str, type] | None = None,
     name: str = "app",
+    machine_nodes: int | None = None,
 ) -> list[Diagnostic]:
     """Lint XSPCL source text; parse failures become an X001 diagnostic."""
     try:
@@ -167,7 +172,8 @@ def lint_string(
         bag = DiagnosticBag()
         bag.report("X001", str(exc), line=exc.line)
         return bag.sorted()
-    return lint_spec(spec, ports=ports, classes=classes, name=name)
+    return lint_spec(spec, ports=ports, classes=classes, name=name,
+                     machine_nodes=machine_nodes)
 
 
 def lint_file(
@@ -175,6 +181,7 @@ def lint_file(
     *,
     ports: Mapping[str, PortSpec] | None = None,
     classes: Mapping[str, type] | None = None,
+    machine_nodes: int | None = None,
 ) -> list[Diagnostic]:
     """Lint an XSPCL file; the returned diagnostics carry ``path``."""
     path = Path(path)
@@ -183,6 +190,7 @@ def lint_file(
         ports=ports,
         classes=classes,
         name=path.stem,
+        machine_nodes=machine_nodes,
     )
     return [
         Diagnostic(

@@ -4,8 +4,10 @@ These never indicate a broken program — they point at cycles left on the
 table: producer/consumer chains the scheduler could fuse for cache reuse
 (X401, the ``hinch.grouping`` optimization of paper §4.1), slice counts
 that split frames unevenly and unbalance the data-parallel copies (X402),
-and component classes the SpaceCAKE cost model can only price with its
-flat fallback constant (X403), which degrades prediction fidelity.
+component classes the SpaceCAKE cost model can only price with its flat
+fallback constant (X403), which degrades prediction fidelity, and slice
+replication wider than the target machine (X404) — excess copies can
+never run concurrently, they only add per-job scheduling overhead.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ __all__ = [
     "check_fusable_chains",
     "check_slice_divisibility",
     "check_cost_profiles",
+    "check_over_slicing",
     "run_perf_passes",
 ]
 
@@ -92,12 +95,48 @@ def check_cost_profiles(
             )
 
 
+def check_over_slicing(
+    bag: DiagnosticBag, program: Program, machine_nodes: int | None
+) -> None:
+    """X404: data-parallel replication wider than the target machine.
+
+    The scheduler admits at most ``machine_nodes`` jobs concurrently, so
+    slicing a region into more copies than there are nodes cannot buy
+    additional parallelism — each extra copy only adds a job's worth of
+    dispatch, stream accounting, and (on the process backend) transport
+    overhead per iteration.  ``machine_nodes`` comes from the deployment
+    (``xspcl lint --nodes N``); without it the pass is skipped.
+    """
+    if machine_nodes is None or machine_nodes < 1:
+        return
+    seen: set[str] = set()
+    for inst in program.components.values():
+        if inst.slice is None or inst.definition_id in seen:
+            continue
+        seen.add(inst.definition_id)
+        _, n = inst.slice
+        if n > machine_nodes:
+            bag.report(
+                "X404",
+                f"component {inst.definition_id!r} is replicated into {n} "
+                f"slice copies but the target machine has only "
+                f"{machine_nodes} node(s); the {n - machine_nodes} excess "
+                "cop" + ("y" if n - machine_nodes == 1 else "ies")
+                + " can never run concurrently and only add per-iteration "
+                "scheduling overhead",
+                line=inst.line,
+                where=inst.definition_id,
+            )
+
+
 def run_perf_passes(
     bag: DiagnosticBag,
     program: Program,
     pg: ProgramGraph,
     class_registry: Mapping[str, type] | None = None,
+    machine_nodes: int | None = None,
 ) -> None:
     check_fusable_chains(bag, program, pg)
     check_slice_divisibility(bag, program)
     check_cost_profiles(bag, program, class_registry)
+    check_over_slicing(bag, program, machine_nodes)

@@ -82,7 +82,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
         ports = default_ports(classes)
     diagnostics = []
     for path in args.specs:
-        diagnostics.extend(lint_file(path, ports=ports, classes=classes))
+        diagnostics.extend(
+            lint_file(path, ports=ports, classes=classes,
+                      machine_nodes=args.nodes)
+        )
     if args.format == "json":
         print(render_json(diagnostics))
     else:
@@ -118,21 +121,42 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     program = _load_program(args.spec)
     registry = default_registry()
+    workers = args.workers if args.workers is not None else args.nodes
     if args.backend == "threaded":
         from repro.hinch import ThreadedRuntime
 
         runtime = ThreadedRuntime(
             program,
             registry,
-            nodes=args.nodes,
+            nodes=workers,
             pipeline_depth=args.pipeline_depth,
             max_iterations=args.iterations,
         )
         result = runtime.run()
         print(
             f"completed {result.completed_iterations} iterations in "
-            f"{result.elapsed_seconds:.3f}s on {args.nodes} worker thread(s); "
+            f"{result.elapsed_seconds:.3f}s on {workers} worker thread(s); "
             f"{result.reconfig_count} reconfiguration(s)"
+        )
+    elif args.backend == "process":
+        from repro.hinch import ProcessRuntime
+
+        result = ProcessRuntime(
+            program,
+            registry,
+            workers=workers,
+            pipeline_depth=args.pipeline_depth,
+            max_iterations=args.iterations,
+        ).run()
+        fps = (
+            result.completed_iterations / result.elapsed_seconds
+            if result.elapsed_seconds > 0
+            else 0.0
+        )
+        print(
+            f"completed {result.completed_iterations} iterations in "
+            f"{result.elapsed_seconds:.3f}s on {workers} worker process(es) "
+            f"({fps:.1f} frames/s); {result.reconfig_count} reconfiguration(s)"
         )
     else:
         from repro.spacecake import SimRuntime
@@ -241,11 +265,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.bench import perf
+    if args.suite == "runtime":
+        from repro.bench import runtime as suite
+    else:
+        from repro.bench import perf as suite
 
-    profile = perf.PROFILES[args.profile]
+    profile = suite.PROFILES[args.profile]
+    output = args.output or suite.DEFAULT_OUTPUT
+    max_regression = (
+        args.max_regression if args.max_regression is not None
+        else suite.DEFAULT_MAX_REGRESSION
+    )
     baseline = None
-    baseline_path = Path(args.baseline) if args.baseline else Path(args.output)
+    baseline_path = Path(args.baseline) if args.baseline else Path(output)
     if baseline_path.exists():
         # Read before collect(): the default baseline is the committed
         # copy of the very file we are about to overwrite.
@@ -254,7 +286,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"error: baseline {baseline_path} not found", file=sys.stderr)
         return 2
 
-    payload = perf.collect(profile, scale=args.scale, repeats=args.repeat)
+    if args.suite == "runtime":
+        payload = suite.collect(profile, repeats=args.repeat)
+    else:
+        payload = suite.collect(profile, scale=args.scale,
+                                repeats=args.repeat)
     if baseline is not None and "pre_optimization_reference" in baseline:
         # The seed-implementation reference timings describe a fixed
         # historical tree, not this run — carry them forward so a bench
@@ -262,15 +298,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
         payload["pre_optimization_reference"] = baseline[
             "pre_optimization_reference"
         ]
-    Path(args.output).write_text(
+    Path(output).write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
-    print(perf.render_report(payload, baseline))
-    print(f"\nresults written to {args.output}")
+    print(suite.render_report(payload, baseline))
+    print(f"\nresults written to {output}")
 
     if baseline is not None:
-        regressions = perf.compare(
-            payload, baseline, max_regression=args.max_regression
+        regressions = suite.compare(
+            payload, baseline, max_regression=max_regression
         )
         if regressions:
             print(
@@ -284,7 +320,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 return 1
         else:
             print(f"no wall-clock regressions vs {baseline_path} "
-                  f"(limit {args.max_regression:+.0%})")
+                  f"(limit {max_regression:+.0%})")
     return 0
 
 
@@ -347,6 +383,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="lowest severity that causes a nonzero exit")
     p.add_argument("--no-registry", action="store_true",
                    help="skip component-class and graph-level checks")
+    p.add_argument("--nodes", type=int, default=None,
+                   help="target machine node count; enables the "
+                        "over-slicing lint (X404)")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("expand", help="expand and summarize an application")
@@ -356,8 +395,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="execute a specification")
     p.add_argument("spec")
-    p.add_argument("--backend", choices=("threaded", "sim"), default="threaded")
+    p.add_argument("--backend", choices=("threaded", "process", "sim"),
+                   default="threaded")
     p.add_argument("--nodes", type=int, default=1)
+    p.add_argument("--workers", type=int, default=None,
+                   help="process backend: worker process count "
+                        "(default: --nodes)")
     p.add_argument("--iterations", type=int, default=16)
     p.add_argument("--pipeline-depth", type=int, default=5)
     p.add_argument("--execute", action="store_true",
@@ -390,21 +433,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="time the simulator (figure sweeps + micro-benchmarks) and "
              "compare against the committed baseline",
     )
+    p.add_argument("--suite", choices=("sim", "runtime"), default="sim",
+                   help="sim: SpaceCAKE wall-clock suite (BENCH_simulator"
+                        ".json); runtime: threaded/process backend "
+                        "throughput suite (BENCH_runtime.json)")
     p.add_argument("--profile", choices=sorted(_bench_profiles()),
                    default="quick",
                    help="measurement profile (quick = CI smoke)")
     p.add_argument("--scale", type=float, default=None,
-                   help="override the profile's frame-count scale")
+                   help="sim suite: override the profile's frame-count "
+                        "scale")
     p.add_argument("--repeat", type=int, default=None,
-                   help="override the profile's best-of repeat count")
-    p.add_argument("-o", "--output", default="BENCH_simulator.json",
-                   help="result file (default: %(default)s at the repo root)")
+                   help="override the profile's repeat count")
+    p.add_argument("-o", "--output", default=None,
+                   help="result file (default: the suite's BENCH_*.json "
+                        "at the repo root)")
     p.add_argument("--baseline", default=None,
                    help="baseline JSON to compare against (default: the "
                         "pre-existing output file)")
-    p.add_argument("--max-regression", type=float, default=0.25,
-                   help="allowed wall-clock slowdown per metric "
-                        "(default: %(default)s)")
+    p.add_argument("--max-regression", type=float, default=None,
+                   help="allowed median wall-clock slowdown per metric "
+                        "(default: 0.25 sim, 0.35 runtime)")
     p.add_argument("--check", action="store_true",
                    help="exit nonzero on any regression beyond the limit")
     p.set_defaults(fn=cmd_bench)

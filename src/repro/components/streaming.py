@@ -328,8 +328,7 @@ class IdctField(Component, _SlicedMixin):
     def run(self, job: JobContext) -> None:
         coeffs: jpeg_codec.PlaneCoefficients = job.read("coeffs")
         out = job.buffer(
-            "output",
-            lambda: np.empty((coeffs.height, coeffs.width), dtype=np.uint8),
+            "output", shape=(coeffs.height, coeffs.width), dtype=np.uint8
         )
         lo, hi = self.rows(coeffs.height, block=8)
         jpeg_codec.idct_plane(coeffs, rows=(lo, hi), out=out)
@@ -371,9 +370,7 @@ class DownscaleField(Component, _SlicedMixin):
         factor = int(self.require_param("factor"))
         h, w = src.shape
         oh = h // factor
-        out = job.buffer(
-            "output", lambda: np.empty((oh, w // factor), dtype=src.dtype)
-        )
+        out = job.buffer("output", shape=(oh, w // factor), dtype=src.dtype)
         lo, hi = self.rows(oh)
         filters.downscale_plane(src, factor, out=out, rows=(lo, hi))
         job.note_written((hi - lo) * (w // factor))
@@ -423,7 +420,7 @@ class BlendField(Component, _SlicedMixin):
     def run(self, job: JobContext) -> None:
         background: np.ndarray = job.read("background")
         overlay: np.ndarray = job.read("overlay")
-        out = job.buffer("output", lambda: np.empty_like(background))
+        out = job.buffer("output", shape=background.shape, dtype=background.dtype)
         lo, hi = self.rows(background.shape[0])
         filters.blend_plane(
             background,
@@ -472,7 +469,7 @@ class BlurHField(_BlurBase):
 
     def run(self, job: JobContext) -> None:
         src: np.ndarray = job.read("input")
-        out = job.buffer("output", lambda: np.empty_like(src))
+        out = job.buffer("output", shape=src.shape, dtype=src.dtype)
         lo, hi = self.rows(src.shape[0])
         filters.blur_plane_horizontal(src, self._kernel(), out=out, rows=(lo, hi))
         job.note_written((hi - lo) * src.shape[1])
@@ -483,7 +480,7 @@ class BlurVField(_BlurBase):
 
     def run(self, job: JobContext) -> None:
         src: np.ndarray = job.read("input")
-        out = job.buffer("output", lambda: np.empty_like(src))
+        out = job.buffer("output", shape=src.shape, dtype=src.dtype)
         lo, hi = self.rows(src.shape[0])
         filters.blur_plane_vertical(src, self._kernel(), out=out, rows=(lo, hi))
         job.note_written((hi - lo) * src.shape[1])
@@ -530,10 +527,21 @@ class VideoSink(Component):
         )
         self.frames_written += 1
         if self.param("collect"):
-            self.frames.append((job.iteration, frame))
+            # Input planes may be views into recycled pool / shared-memory
+            # planes that are overwritten a few iterations later — retained
+            # frames must own their pixels.
+            self.frames.append((job.iteration, frame.copy()))
 
     def ordered_frames(self) -> list[Frame]:
         return [f for _, f in sorted(self.frames, key=lambda kv: kv[0])]
+
+    def snapshot_state(self) -> tuple[int, list[tuple[int, Frame]]]:
+        return self.frames_written, self.frames
+
+    def merge_state(self, state: tuple[int, list[tuple[int, Frame]]]) -> None:
+        written, frames = state
+        self.frames_written += written
+        self.frames.extend(frames)
 
 
 class PlaneSink(Component):
@@ -567,6 +575,14 @@ class PlaneSink(Component):
 
     def ordered_planes(self) -> list[np.ndarray]:
         return [p for _, p in sorted(self.planes, key=lambda kv: kv[0])]
+
+    def snapshot_state(self) -> tuple[int, list[tuple[int, np.ndarray]]]:
+        return self.frames_written, self.planes
+
+    def merge_state(self, state: tuple[int, list[tuple[int, np.ndarray]]]) -> None:
+        written, planes = state
+        self.frames_written += written
+        self.planes.extend(planes)
 
 
 # ---------------------------------------------------------------------------

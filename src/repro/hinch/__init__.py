@@ -30,6 +30,8 @@ from repro.hinch.component import Component, JobContext
 from repro.hinch.jobqueue import Job, JobQueue
 from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan, SchedulerHooks
 from repro.hinch.runtime import RunResult, ThreadedRuntime
+from repro.hinch.process import ProcessRuntime
+from repro.hinch.shm import Packed, PlaneRef, SharedPlanePool
 from repro.hinch.grouping import group_linear_chains
 from repro.hinch.tracing import TraceEvent, Tracer
 
@@ -47,7 +49,11 @@ __all__ = [
     "SchedulerHooks",
     "ReconfigPlan",
     "ThreadedRuntime",
+    "ProcessRuntime",
     "RunResult",
+    "SharedPlanePool",
+    "Packed",
+    "PlaneRef",
     "group_linear_chains",
     "TraceEvent",
     "Tracer",

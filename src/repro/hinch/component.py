@@ -102,6 +102,24 @@ class Component:
     def teardown(self) -> None:
         """Called when the component is destroyed (option disabled)."""
 
+    # -- distributed state ----------------------------------------------------
+
+    def snapshot_state(self) -> Any | None:
+        """Observable run state to ship back to the dispatcher.
+
+        On the process backend each worker holds its own mirror of a
+        component, so state accumulated by ``run`` (collected frames,
+        counters) is sharded across processes.  At shutdown the runtime
+        snapshots every worker mirror and folds the pieces into the
+        dispatcher's instance via :meth:`merge_state`.  Return ``None``
+        (the default) for components with no observable state; the
+        snapshot must be picklable.
+        """
+        return None
+
+    def merge_state(self, state: Any) -> None:
+        """Fold one worker mirror's :meth:`snapshot_state` into this copy."""
+
     # -- helpers -----------------------------------------------------------------
 
     def param(self, name: str, default: Any = None) -> Any:
@@ -171,14 +189,25 @@ class JobContext:
         self._streams.stream(self._resolve(port)).put(self.iteration, value)
         self.bytes_written += _nbytes(value)
 
-    def buffer(self, port: str, factory: Callable[[], Any]) -> Any:
+    def buffer(
+        self,
+        port: str,
+        factory: Callable[[], Any] | None = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype: Any = None,
+    ) -> Any:
         """Get the shared output buffer for a sliced writer.
 
-        The first copy to arrive allocates via ``factory``; every copy
-        then fills its own region in place.
+        The first copy to arrive allocates; every copy then fills its own
+        region in place.  Prefer ``shape``/``dtype`` over ``factory`` —
+        a declared geometry lets the runtime recycle the buffer from its
+        plane pool (and, on the process backend, place it directly in
+        shared memory so slice copies on different cores write the same
+        plane).
         """
         buf = self._streams.stream(self._resolve(port)).ensure_buffer(
-            self.iteration, factory
+            self.iteration, factory, shape=shape, dtype=dtype
         )
         return buf
 

@@ -15,6 +15,8 @@ import threading
 from collections import deque
 from dataclasses import dataclass
 
+from repro.errors import SchedulingError
+
 __all__ = ["Job", "JobQueue"]
 
 
@@ -34,40 +36,71 @@ class Job:
 
 
 class JobQueue:
-    """Thread-safe FIFO with shutdown support."""
+    """Thread-safe FIFO with two distinct shutdown modes.
+
+    * :meth:`close` — *abort*.  Workers stop as soon as the remaining
+      items run out, and any job pushed afterwards is silently dropped.
+      This is the failure path: a worker crashed, whatever completions
+      are still in flight no longer matter.
+    * :meth:`drain` — *graceful sentinel*.  Called only when the
+      scheduler reports ``done`` (every admitted iteration completed, so
+      no further job can ever become ready).  Remaining items are still
+      served; once empty, every ``pop`` returns ``None``.  A ``push``
+      after drain is a scheduling bug — completed work would be lost —
+      and raises :class:`~repro.errors.SchedulingError` instead of
+      dropping the job on the floor.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._items: deque[Job] = deque()
         self._closed = False
+        self._draining = False
         self._pushed = 0
 
-    def push(self, job: Job) -> None:
+    def push(self, job: Job) -> int:
+        """Enqueue one job; returns the number accepted (0 after close)."""
         with self._not_empty:
             if self._closed:
-                return  # late completions during shutdown are dropped
+                return 0  # aborted: late completions are dropped
+            if self._draining:
+                raise SchedulingError(
+                    f"job {job!r} pushed after drain(): the scheduler "
+                    "reported done, so this completion would be lost"
+                )
             self._items.append(job)
             self._pushed += 1
             self._not_empty.notify()
+            return 1
 
-    def push_all(self, jobs: list[Job]) -> None:
+    def push_all(self, jobs: list[Job]) -> int:
+        """Enqueue jobs; returns the number accepted (0 after close)."""
+        if not jobs:
+            return 0
         with self._not_empty:
             if self._closed:
-                return
+                return 0
+            if self._draining:
+                raise SchedulingError(
+                    f"{len(jobs)} job(s) pushed after drain(): the "
+                    "scheduler reported done, so these completions would "
+                    "be lost"
+                )
             self._items.extend(jobs)
             self._pushed += len(jobs)
             self._not_empty.notify(len(jobs))
+            return len(jobs)
 
     def pop(self, timeout: float | None = None) -> Job | None:
-        """Block until a job is available; None on close or timeout."""
+        """Block until a job is available; None on shutdown or timeout."""
         with self._not_empty:
-            while not self._items and not self._closed:
+            while not self._items and not self._closed and not self._draining:
                 if not self._not_empty.wait(timeout=timeout):
                     return None
             if self._items:
                 return self._items.popleft()
-            return None  # closed and drained
+            return None  # shut down and drained
 
     def try_pop(self) -> Job | None:
         with self._lock:
@@ -76,14 +109,30 @@ class JobQueue:
             return None
 
     def close(self) -> None:
+        """Abort: stop serving once empty, drop any further push."""
         with self._not_empty:
             self._closed = True
+            self._not_empty.notify_all()
+
+    def drain(self) -> None:
+        """Graceful shutdown: serve what remains, then sentinel workers.
+
+        Only valid once the scheduler is ``done`` — after this call, a
+        push is an error rather than a silent drop.
+        """
+        with self._not_empty:
+            self._draining = True
             self._not_empty.notify_all()
 
     @property
     def closed(self) -> bool:
         with self._lock:
             return self._closed
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
 
     def __len__(self) -> int:
         with self._lock:

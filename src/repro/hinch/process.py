@@ -1,0 +1,750 @@
+"""ProcessRuntime: Hinch on worker *processes* — real multi-core execution.
+
+The threaded backend is the correctness reference but cannot speed up
+CPU-bound kernels under CPython's GIL.  This backend keeps the paper's
+execution model bit-for-bit — one central job queue, automatic load
+balancing, quiescent-drain reconfiguration — and moves only the kernel
+execution across process boundaries:
+
+* The **dispatcher** (the calling process) owns everything stateful that
+  defines the semantics: the :class:`~repro.hinch.scheduler.DataflowScheduler`,
+  the :class:`~repro.hinch.manager.ManagerRuntime`s, the event broker,
+  the :class:`~repro.hinch.stream.StreamStore` and the
+  :class:`~repro.hinch.shm.SharedPlanePool`.  Manager invocations run
+  inline on the dispatcher (traced as worker ``-1``).
+* **Workers** hold mirror component instances (same splice membership as
+  the dispatcher, maintained by broadcast) and do nothing but execute
+  ``(iteration, node)`` jobs pulled from the central queue — the paper's
+  "work goes wherever there is a free processor" policy, with the
+  dispatcher handing the FIFO head to any idle worker.
+
+Frame transport is zero-copy: stream values cross the control pipes as
+:class:`~repro.hinch.shm.Packed` descriptors a few hundred bytes long,
+while the pixels live in ``multiprocessing.shared_memory`` planes that
+both sides map directly.  Sliced data-parallel copies running on
+different cores share one output plane per (stream, iteration) — exactly
+the whole-frame slot buffer of the threaded backend, now visible across
+processes.  Workers never allocate planes themselves; they RPC the
+dispatcher (``alloc`` / ``ensure``), which keeps the pool's free lists
+single-threaded and the ``pipeline_depth`` memory bound intact.
+
+Requires a ``fork``-capable platform (Linux): workers inherit the
+compiled :class:`~repro.core.program.Program` and component registry by
+address-space copy, so nothing about the application itself is pickled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from multiprocessing.connection import Connection, wait
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.program import Program, ProgramGraph
+from repro.errors import SchedulingError, StreamError
+from repro.hinch.component import Component, JobContext
+from repro.hinch.events import Event, EventBroker
+from repro.hinch.jobqueue import Job, JobQueue
+from repro.hinch.manager import ManagerRuntime
+from repro.hinch.runtime import ComponentHost, RunResult
+from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
+from repro.hinch.shm import Packed, PlaneRef, SharedPlanePool
+from repro.hinch.stream import StreamStore
+from repro.hinch.tracing import TraceEvent, Tracer
+
+__all__ = ["ProcessRuntime"]
+
+#: pool counters a worker reports back at shutdown (summed by dispatcher)
+_WORKER_STAT_KEYS = (
+    "meta_pickled_bytes",
+    "oob_bytes",
+    "plane_packs",
+    "pickle_packs",
+)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _RemotePlanePool(SharedPlanePool):
+    """Worker-side pool facade: allocation happens on the dispatcher.
+
+    ``acquire``/``acquire_raw`` become RPCs over the control pipe; pack,
+    unpack and segment mapping (with the attachment cache) are inherited.
+    The worker owns no segments, so :meth:`close` never unlinks anything.
+    """
+
+    def __init__(self, rpc: Any) -> None:
+        super().__init__(shared=True)
+        self._rpc = rpc
+
+    def acquire(self, shape: tuple[int, ...], dtype: Any) -> tuple[np.ndarray, PlaneRef]:
+        dt = np.dtype(dtype)
+        ref: PlaneRef = self._rpc(("rpc_alloc", tuple(shape), dt.str))
+        self.stats.acquires += 1
+        return self.open(ref), ref
+
+    def acquire_raw(self, nbytes: int) -> PlaneRef:
+        ref: PlaneRef = self._rpc(("rpc_alloc_raw", nbytes))
+        self.stats.acquires += 1
+        return ref
+
+
+class _RecordingBroker:
+    """Collects a job's event posts for shipment with the completion."""
+
+    def __init__(self, sink: list[tuple[str, Event]]) -> None:
+        self._sink = sink
+
+    def post(self, queue: str, event: Event) -> None:
+        self._sink.append((queue, event))
+
+
+class _WorkerStreams:
+    """Per-job stream facade with the :class:`StreamStore` duck type.
+
+    Reads unpack the :class:`Packed` inputs the dispatcher sent with the
+    job (ndarrays come back as views into shared planes); ``put`` writes
+    are packed for the completion message; ``ensure_buffer`` maps the
+    shared whole-frame plane all slice copies of this (stream, iteration)
+    write into.  Grouped-chain members see each other's writes locally.
+    """
+
+    def __init__(self, worker: "_Worker", inputs: dict[str, Packed]) -> None:
+        self.worker = worker
+        self.inputs = inputs
+        #: resolved stream name -> Packed, shipped with the completion
+        self.outputs: dict[str, Packed] = {}
+        #: resolved stream name -> live value (unpacked inputs, local
+        #: writes visible to later members of a grouped chain)
+        self.values: dict[str, Any] = {}
+        #: resolved stream name -> shared ensure-buffer view
+        self.ensured: dict[str, np.ndarray] = {}
+
+    def stream(self, name: str) -> "_WorkerStream":
+        return _WorkerStream(self, name)
+
+
+class _WorkerStream:
+    __slots__ = ("ws", "name")
+
+    def __init__(self, ws: _WorkerStreams, name: str) -> None:
+        self.ws = ws
+        self.name = name
+
+    def get(self, iteration: int) -> Any:
+        ws = self.ws
+        value = ws.values.get(self.name)
+        if value is not None:
+            return value
+        buf = ws.ensured.get(self.name)
+        if buf is not None:
+            return buf
+        packed = ws.inputs.get(self.name)
+        if packed is None:
+            raise StreamError(
+                f"stream {self.name!r}: read before write in iteration "
+                f"{iteration} (input not shipped with the job)"
+            )
+        value = ws.worker.pool.unpack(packed)
+        ws.values[self.name] = value
+        return value
+
+    def put(self, iteration: int, value: Any) -> None:
+        ws = self.ws
+        if self.name in ws.outputs:
+            raise StreamError(
+                f"stream {self.name!r}: double write in iteration {iteration}"
+            )
+        ws.values[self.name] = value
+        ws.outputs[self.name] = ws.worker.pool.pack(value)
+
+    def ensure_buffer(
+        self,
+        iteration: int,
+        factory: Any = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype: Any = None,
+    ) -> Any:
+        ws = self.ws
+        buf = ws.ensured.get(self.name)
+        if buf is None:
+            if shape is None:
+                # Legacy factory path: use the factory's array purely as
+                # a geometry prototype — the actual buffer must be the
+                # shared plane every slice copy maps.
+                proto = factory()
+                if not isinstance(proto, np.ndarray):
+                    raise StreamError(
+                        f"stream {self.name!r}: the process backend needs "
+                        "ndarray buffers (pass shape=/dtype= to job.buffer)"
+                    )
+                shape, dtype = proto.shape, proto.dtype
+            ref: PlaneRef = ws.worker.rpc(
+                ("rpc_ensure", self.name, iteration, tuple(shape),
+                 np.dtype(dtype).str)
+            )
+            buf = ws.worker.pool.open(ref)
+            ws.ensured[self.name] = buf
+        return buf
+
+
+class _Worker:
+    """Worker-process main object: mirrors components, executes jobs."""
+
+    def __init__(
+        self,
+        conn: Connection,
+        program: Program,
+        registry: Mapping[str, type[Component]],
+        option_states: dict[str, bool],
+        group_chains: bool,
+        worker_id: int,
+    ) -> None:
+        self.conn = conn
+        self.program = program
+        self.registry = registry
+        self.group_chains = group_chains
+        self.worker_id = worker_id
+        self.pool = _RemotePlanePool(self.rpc)
+        self.pg = self._make_pg(option_states)
+        self.host = ComponentHost(program, registry)
+        self.host.populate(self.pg.active_components)
+
+    def _make_pg(self, option_states: Mapping[str, bool]) -> ProgramGraph:
+        pg = self.program.build_graph(option_states)
+        if self.group_chains:
+            from repro.hinch.grouping import group_linear_chains
+
+            pg = group_linear_chains(pg)
+        return pg
+
+    # -- dispatcher RPC -----------------------------------------------------
+
+    def rpc(self, request: tuple[Any, ...]) -> Any:
+        """Round-trip to the dispatcher, absorbing interleaved control.
+
+        The dispatcher may broadcast a ``reconfigure`` while this worker
+        is mid-job (manager nodes run dispatcher-side concurrently with
+        task jobs, as in the threaded backend); it is applied here and
+        the wait continues.  Splice/job messages cannot interleave — the
+        dispatcher only splices at quiescence and never sends jobs to a
+        busy worker.
+        """
+        self.conn.send(request)
+        while True:
+            reply = self.conn.recv()
+            if reply[0] == "rpc":
+                return reply[1]
+            self._handle_control(reply)
+
+    def _handle_control(self, msg: tuple[Any, ...]) -> None:
+        tag = msg[0]
+        if tag == "reconfigure":
+            _, manager, request = msg
+            for member in self.program.managers[manager].members:
+                component = self.host.live.get(member)
+                if component is not None:
+                    component.reconfigure(request)
+        elif tag == "splice":
+            new_pg = self._make_pg(msg[1])
+            self.host.splice(new_pg.active_components, {})
+            self.pg = new_pg
+        else:  # pragma: no cover - protocol error
+            raise SchedulingError(f"worker got unexpected message {tag!r}")
+
+    # -- job execution ------------------------------------------------------
+
+    def _run_job(
+        self, iteration: int, node_id: str, inputs: dict[str, Packed]
+    ) -> None:
+        node = self.pg.graph.node(node_id)
+        payload = node.payload
+        instances = payload if isinstance(payload, tuple) else (payload,)
+        ws = _WorkerStreams(self, inputs)
+        events: list[tuple[str, Event]] = []
+        broker = _RecordingBroker(events)
+        stop_requested = False
+
+        def request_stop() -> None:
+            nonlocal stop_requested
+            stop_requested = True
+
+        start = time.perf_counter()
+        for instance in instances:
+            component = self.host.live[instance.instance_id]
+            ctx = JobContext(
+                instance,
+                iteration,
+                ws,  # type: ignore[arg-type] - StreamStore duck type
+                broker,  # type: ignore[arg-type] - EventBroker duck type
+                self.pg.aliases,
+                stop_requester=request_stop,
+            )
+            component.run(ctx)
+        end = time.perf_counter()
+        self.conn.send(
+            ("done", iteration, node_id, ws.outputs, events, stop_requested,
+             start, end)
+        )
+
+    # -- main loop -----------------------------------------------------------
+
+    def main(self) -> None:
+        try:
+            while True:
+                msg = self.conn.recv()
+                tag = msg[0]
+                if tag == "job":
+                    self._run_job(msg[1], msg[2], msg[3])
+                elif tag == "stop":
+                    snapshots = {}
+                    for instance_id, component in self.host.live.items():
+                        state = component.snapshot_state()
+                        if state is not None:
+                            snapshots[instance_id] = state
+                    stats = self.pool.stats.as_dict()
+                    self.conn.send(
+                        ("bye", snapshots,
+                         {k: stats[k] for k in _WORKER_STAT_KEYS})
+                    )
+                    return
+                else:
+                    self._handle_control(msg)
+        except BaseException as exc:
+            tb = traceback.format_exc()
+            try:
+                self.conn.send(("error", exc, tb))
+            except Exception:
+                try:
+                    self.conn.send(("error", None, tb))
+                except Exception:
+                    pass
+        finally:
+            self.pool.close_attachments()
+            self.conn.close()
+
+
+def _worker_entry(
+    conn: Connection,
+    program: Program,
+    registry: Mapping[str, type[Component]],
+    option_states: dict[str, bool],
+    group_chains: bool,
+    worker_id: int,
+) -> None:
+    _Worker(conn, program, registry, option_states, group_chains,
+            worker_id).main()
+
+
+# ---------------------------------------------------------------------------
+# Dispatcher side
+# ---------------------------------------------------------------------------
+
+
+class ProcessRuntime:
+    """Run a Program on worker processes with real parallel execution.
+
+    Drop-in for :class:`~repro.hinch.runtime.ThreadedRuntime` (``workers``
+    replaces ``nodes``); produces bit-identical outputs because every
+    semantic decision — job readiness, load balancing, event handling,
+    reconfiguration — is made by the same single-threaded dispatcher
+    state machines the threaded backend uses under its lock.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        registry: Mapping[str, type[Component]],
+        *,
+        workers: int = 2,
+        pipeline_depth: int = 5,
+        max_iterations: int,
+        trace: bool = False,
+        option_states: Mapping[str, bool] | None = None,
+        group_chains: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise SchedulingError(f"workers must be >= 1, got {workers}")
+        self.program = program
+        self.registry = registry
+        self.workers = workers
+        self.pipeline_depth = pipeline_depth
+        self.max_iterations = max_iterations
+        self.group_chains = group_chains
+        self.broker = EventBroker()
+        self.pool = SharedPlanePool(shared=True)
+        self.streams = StreamStore(self.pool)
+        self.tracer = Tracer(enabled=trace)
+        self.host = ComponentHost(program, registry)
+
+        self.pg: ProgramGraph = self._make_pg(program, option_states)
+        self._target_states: dict[str, bool] = dict(self.pg.option_states)
+        self._precreated: dict[str, Component] = {}
+        self.host.populate(self.pg.active_components)
+        self.managers = {
+            qname: ManagerRuntime(info, self.broker, self)
+            for qname, info in program.managers.items()
+        }
+        self.scheduler = DataflowScheduler(
+            self.pg,
+            pipeline_depth=pipeline_depth,
+            max_iterations=max_iterations,
+            hooks=self,
+        )
+        self.queue = JobQueue()
+        self.reconfig_log: list[tuple[int, dict[str, bool]]] = []
+        self._worker_pool_stats = {k: 0 for k in _WORKER_STAT_KEYS}
+        self._conns: list[Connection] = []
+        self._procs: list[Any] = []
+        self._idle: set[int] = set()
+        self._busy: dict[int, Job] = {}
+
+    def _make_pg(
+        self, program: Program, option_states: Mapping[str, bool] | None
+    ) -> ProgramGraph:
+        pg = program.build_graph(option_states)
+        if self.group_chains:
+            from repro.hinch.grouping import group_linear_chains
+
+            pg = group_linear_chains(pg)
+        return pg
+
+    # -- SchedulerHooks ------------------------------------------------------
+
+    def on_iteration_complete(self, iteration: int) -> None:
+        self.streams.release_iteration(iteration)
+
+    def on_reconfigure(
+        self, plans: list[ReconfigPlan], resume_iteration: int
+    ) -> ProgramGraph:
+        states = dict(self.pg.option_states)
+        for plan in plans:
+            states.update(plan.changes)
+        new_pg = self._make_pg(self.program, states)
+        self.host.splice(new_pg.active_components, self._precreated)
+        for component in self._precreated.values():
+            component.teardown()
+        self._precreated.clear()
+        self.pg = new_pg
+        self._target_states = dict(states)
+        self.reconfig_log.append((resume_iteration, dict(states)))
+        # The graph is quiescent (no jobs in flight), so every worker is
+        # idle and will process the splice before its next job.
+        for conn in self._conns:
+            conn.send(("splice", dict(states)))
+        return new_pg
+
+    # -- ReconfigController --------------------------------------------------
+
+    def target_option_state(self, option_qname: str) -> bool:
+        return self._target_states[option_qname]
+
+    def apply_option_changes(self, manager: str, changes: dict[str, bool]) -> None:
+        effective = {
+            opt: state
+            for opt, state in changes.items()
+            if self._target_states.get(opt) != state
+        }
+        if not effective:
+            return
+        self._target_states.update(effective)
+        for opt, state in effective.items():
+            if state:
+                for member in self.program.options[opt].members:
+                    if (
+                        member not in self.host.live
+                        and member not in self._precreated
+                    ):
+                        self._precreated[member] = self.host.create(member)
+        self.scheduler.request_reconfig(
+            ReconfigPlan(manager=manager, changes=effective)
+        )
+
+    def send_reconfigure_request(self, manager: str, request: str) -> None:
+        # Dispatcher mirrors track parameter state (they are what
+        # RunResult.components exposes) ...
+        for member in self.program.managers[manager].members:
+            component = self.host.live.get(member)
+            if component is not None:
+                component.reconfigure(request)
+        # ... and every worker applies the request to its own mirrors,
+        # possibly mid-job of an unrelated component (same concurrency
+        # the threaded backend exhibits at nodes > 1).
+        for conn in self._conns:
+            conn.send(("reconfigure", manager, request))
+
+    # -- event injection -----------------------------------------------------
+
+    def post_event(self, queue: str, name: str, payload: Any = None) -> None:
+        """Inject an external (user) event."""
+        self.broker.post(queue, Event(name=name, payload=payload))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _gather_inputs(self, node: Any, iteration: int) -> dict[str, Packed]:
+        """Resolve and fetch every input stream value a job needs.
+
+        One ``get`` per (instance, input port), mirroring the threaded
+        backend's per-copy ``job.read`` counters.  Streams produced by an
+        earlier member of a grouped chain stay worker-local and are
+        skipped.
+        """
+        payload = node.payload
+        instances = payload if isinstance(payload, tuple) else (payload,)
+        produced: set[str] = set()
+        aliases = self.pg.aliases
+        for instance in instances:
+            ports = self.registry[instance.class_name].ports
+            for port in ports.outputs:
+                raw = instance.streams.get(port)
+                if raw is not None:
+                    produced.add(aliases.get(raw, raw))
+        inputs: dict[str, Packed] = {}
+        for instance in instances:
+            ports = self.registry[instance.class_name].ports
+            for port in ports.inputs:
+                raw = instance.streams.get(port)
+                if raw is None:
+                    continue
+                name = aliases.get(raw, raw)
+                if name in produced:
+                    continue
+                value = self.streams.stream(name).get(iteration)
+                if not isinstance(value, Packed):  # pragma: no cover
+                    raise StreamError(
+                        f"stream {name!r}: non-transportable slot value "
+                        f"{type(value).__name__}"
+                    )
+                inputs[name] = value
+        return inputs
+
+    def _run_local(self, job: Job, node: Any) -> None:
+        """Execute a control node (manager/barrier) on the dispatcher."""
+        start = time.perf_counter()
+        if node.kind in ("manager_enter", "manager_exit"):
+            manager = self.managers[node.payload]
+            manager.invoke(job.iteration, node.kind.removeprefix("manager_"))
+        end = time.perf_counter()
+        if self.tracer.enabled:
+            self.tracer.record(
+                TraceEvent(
+                    node_id=job.node_id,
+                    iteration=job.iteration,
+                    worker=-1,
+                    start=start,
+                    end=end,
+                    kind=node.kind,
+                )
+            )
+        self._complete(job)
+
+    def _complete(self, job: Job) -> None:
+        ready = self.scheduler.complete(job)
+        self.queue.push_all(ready)
+        if self.scheduler.done:
+            self.queue.drain()
+
+    def _pump(self) -> None:
+        """Hand the FIFO head to idle workers; run control nodes inline.
+
+        Jobs are popped only while a worker is idle — with one worker
+        this reproduces the threaded backend's single-thread FIFO order
+        exactly (control jobs included), which is what makes
+        reconfiguration timing deterministic at ``workers=1``.
+        """
+        while self._idle:
+            job = self.queue.try_pop()
+            if job is None:
+                return
+            node = self.pg.graph.node(job.node_id)
+            if node.kind != "task":
+                self._run_local(job, node)
+                continue
+            worker = min(self._idle)
+            self._idle.discard(worker)
+            inputs = self._gather_inputs(node, job.iteration)
+            self._busy[worker] = job
+            self._conns[worker].send(("job", job.iteration, job.node_id, inputs))
+
+    # -- worker message handling ---------------------------------------------
+
+    def _on_message(self, worker: int, msg: tuple[Any, ...]) -> None:
+        tag = msg[0]
+        if tag == "done":
+            _, iteration, node_id, outputs, events, stop, start, end = msg
+            for name, packed in outputs.items():
+                self.streams.stream(name).put(iteration, packed)
+            for qname, event in events:
+                self.broker.post(qname, event)
+            if stop:
+                self.scheduler.request_stop()
+            if self.tracer.enabled:
+                self.tracer.record(
+                    TraceEvent(
+                        node_id=node_id,
+                        iteration=iteration,
+                        worker=worker,
+                        start=start,
+                        end=end,
+                        kind="task",
+                    )
+                )
+            job = self._busy.pop(worker)
+            self._idle.add(worker)
+            if job.iteration != iteration or job.node_id != node_id:
+                raise SchedulingError(
+                    f"worker {worker} completed {node_id}@{iteration}, "
+                    f"expected {job.node_id}@{job.iteration}"
+                )
+            self._complete(job)
+        elif tag == "rpc_alloc":
+            _, shape, dtype = msg
+            _, ref = self.pool.acquire(tuple(shape), dtype)
+            self._conns[worker].send(("rpc", ref))
+        elif tag == "rpc_alloc_raw":
+            ref = self.pool.acquire_raw(msg[1])
+            self._conns[worker].send(("rpc", ref))
+        elif tag == "rpc_ensure":
+            _, name, iteration, shape, dtype = msg
+            stream = self.streams.stream(name)
+            packed = stream.ensure_buffer(
+                iteration,
+                factory=lambda: self.pool.pack_plane(
+                    self.pool.acquire(tuple(shape), dtype)[1]
+                ),
+            )
+            self._conns[worker].send(("rpc", packed.refs[0]))
+        elif tag == "error":
+            _, exc, tb = msg
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SchedulingError(f"worker {worker} failed:\n{tb}")
+        else:
+            raise SchedulingError(
+                f"dispatcher got unexpected message {tag!r} from worker "
+                f"{worker}"
+            )
+
+    # -- run -----------------------------------------------------------------
+
+    def _spawn_workers(self) -> None:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise SchedulingError(
+                "ProcessRuntime needs a fork-capable platform; use "
+                "ThreadedRuntime instead"
+            ) from None
+        for worker_id in range(self.workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_entry,
+                args=(child, self.program, self.registry,
+                      dict(self.pg.option_states), self.group_chains,
+                      worker_id),
+                name=f"hinch-proc-worker-{worker_id}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self._idle = set(range(self.workers))
+
+    def _shutdown(self, *, graceful: bool) -> None:
+        if graceful:
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except Exception:
+                    pass
+            for worker, conn in enumerate(self._conns):
+                try:
+                    while True:
+                        msg = conn.recv()
+                        if msg[0] == "bye":
+                            _, snapshots, stats = msg
+                            for instance_id, state in snapshots.items():
+                                component = self.host.live.get(instance_id)
+                                if component is not None:
+                                    component.merge_state(state)
+                            for key in _WORKER_STAT_KEYS:
+                                self._worker_pool_stats[key] += stats[key]
+                            break
+                except (EOFError, OSError):
+                    pass
+        for conn in self._conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns.clear()
+        self._procs.clear()
+        self.pool.close()
+
+    def run(self) -> RunResult:
+        """Execute to completion; returns statistics and live components."""
+        start_time = time.perf_counter()
+        self._spawn_workers()
+        failed = False
+        try:
+            initial = self.scheduler.start()
+            self.queue.push_all(initial)
+            if self.scheduler.done:
+                self.queue.drain()
+            self._pump()
+            while self._busy or not self.scheduler.done:
+                ready = wait(self._conns, timeout=60.0)
+                if not ready:
+                    dead = [i for i, p in enumerate(self._procs)
+                            if not p.is_alive()]
+                    if dead:
+                        raise SchedulingError(
+                            f"worker(s) {dead} died without reporting"
+                        )
+                    continue
+                for conn in ready:
+                    worker = self._conns.index(conn)
+                    try:
+                        while conn.poll():
+                            self._on_message(worker, conn.recv())
+                    except EOFError:
+                        raise SchedulingError(
+                            f"worker {worker} exited unexpectedly"
+                        ) from None
+                self._pump()
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            self._shutdown(graceful=not failed)
+        elapsed = time.perf_counter() - start_time
+        stream_stats = {
+            name: self.streams.stream(name).stats for name in self.streams.names
+        }
+        pool_stats = self.pool.stats.as_dict()
+        for key in _WORKER_STAT_KEYS:
+            pool_stats[key] += self._worker_pool_stats[key]
+        return RunResult(
+            completed_iterations=self.scheduler.completed_iterations,
+            elapsed_seconds=elapsed,
+            reconfig_count=self.scheduler.reconfig_count,
+            trace=self.tracer,
+            components=dict(self.host.live),
+            stream_stats=stream_stats,
+            events_handled=sum(m.events_handled for m in self.managers.values()),
+            events_ignored=sum(m.events_ignored for m in self.managers.values()),
+            pool_stats=pool_stats,
+        )

@@ -23,6 +23,7 @@ from repro.hinch.events import Event, EventBroker
 from repro.hinch.jobqueue import Job, JobQueue
 from repro.hinch.manager import ManagerRuntime
 from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
+from repro.hinch.shm import SharedPlanePool
 from repro.hinch.stream import StreamStore
 from repro.hinch.tracing import TraceEvent, Tracer
 
@@ -41,6 +42,10 @@ class RunResult:
     stream_stats: dict[str, tuple[int, int]]  # name -> (writes, reads)
     events_handled: int = 0
     events_ignored: int = 0
+    #: allocation + serialization counters from the plane pool (see
+    #: :class:`repro.hinch.shm.PoolStats`); summed across processes on
+    #: the process backend
+    pool_stats: dict[str, int] = field(default_factory=dict)
 
 
 class ComponentHost:
@@ -118,7 +123,11 @@ class ThreadedRuntime:
         self.max_iterations = max_iterations
         self.group_chains = group_chains
         self.broker = EventBroker()
-        self.streams = StreamStore()
+        # Process-local plane pool: sliced-writer buffers are recycled
+        # across iterations instead of reallocated (same pool class the
+        # process backend uses in shared-memory mode).
+        self.pool = SharedPlanePool(shared=False)
+        self.streams = StreamStore(self.pool)
         self.tracer = Tracer(enabled=trace)
         self.host = ComponentHost(program, registry)
 
@@ -280,7 +289,7 @@ class ThreadedRuntime:
                 done = self.scheduler.done
             self.queue.push_all(ready)
             if done:
-                self.queue.close()
+                self.queue.drain()
 
     def run(self) -> RunResult:
         """Execute to completion; returns statistics and live components."""
@@ -290,7 +299,7 @@ class ThreadedRuntime:
             done_immediately = self.scheduler.done
         self.queue.push_all(initial)
         if done_immediately:
-            self.queue.close()
+            self.queue.drain()
         threads = [
             threading.Thread(
                 target=self._worker, args=(i,), name=f"hinch-worker-{i}",
@@ -317,4 +326,5 @@ class ThreadedRuntime:
             stream_stats=stream_stats,
             events_handled=sum(m.events_handled for m in self.managers.values()),
             events_ignored=sum(m.events_ignored for m in self.managers.values()),
+            pool_stats=self.pool.stats.as_dict(),
         )

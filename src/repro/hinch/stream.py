@@ -24,19 +24,32 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.errors import StreamError
+from repro.hinch.shm import PlaneRef, SharedPlanePool
 
 __all__ = ["Stream", "StreamStore"]
 
 
 class Stream:
-    """One named stream: per-iteration slots with write-once discipline."""
+    """One named stream: per-iteration slots with write-once discipline.
 
-    def __init__(self, name: str) -> None:
+    When the owning :class:`StreamStore` carries a
+    :class:`~repro.hinch.shm.SharedPlanePool`, sliced-writer buffers are
+    acquired from the pool (by ``shape``/``dtype``) instead of allocated
+    fresh, and handed back when the iteration's slot is released — after
+    warm-up the stream stops allocating entirely.
+    """
+
+    def __init__(self, name: str, pool: SharedPlanePool | None = None) -> None:
         self.name = name
+        self.pool = pool
         self._lock = threading.Lock()
         self._slots: dict[int, Any] = {}
         self._finalized: set[int] = set()
+        #: iteration -> PlaneRef for pool-acquired ensure_buffer() planes
+        self._refs: dict[int, PlaneRef] = {}
         self._writes = 0
         self._reads = 0
 
@@ -53,13 +66,25 @@ class Stream:
             self._finalized.add(iteration)
             self._writes += 1
 
-    def ensure_buffer(self, iteration: int, factory: Callable[[], Any]) -> Any:
+    def ensure_buffer(
+        self,
+        iteration: int,
+        factory: Callable[[], Any] | None = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype: Any = None,
+    ) -> Any:
         """Create-or-get the mutable slot buffer for a sliced writer.
 
         All slice copies of the writer call this with an equivalent
-        factory; the first call allocates.  The returned buffer is
-        mutated in place (each copy fills its region), so the slot is
-        immediately visible — ordering is the scheduler's job.
+        allocation request; the first call allocates.  The returned
+        buffer is mutated in place (each copy fills its region), so the
+        slot is immediately visible — ordering is the scheduler's job.
+
+        Writers that know their output geometry pass ``shape``/``dtype``,
+        which lets a pool-backed store recycle planes across iterations;
+        ``factory`` is the fallback for arbitrary buffers (always a fresh
+        allocation).
         """
         with self._lock:
             if iteration in self._finalized:
@@ -69,10 +94,27 @@ class Stream:
                 )
             buffer = self._slots.get(iteration)
             if buffer is None:
-                buffer = factory()
+                if shape is not None:
+                    if self.pool is not None:
+                        buffer, ref = self.pool.acquire(tuple(shape), dtype)
+                        self._refs[iteration] = ref
+                    else:
+                        buffer = np.empty(tuple(shape), dtype=dtype)
+                elif factory is not None:
+                    buffer = factory()
+                else:
+                    raise StreamError(
+                        f"stream {self.name!r}: ensure_buffer needs a "
+                        "factory or a shape"
+                    )
                 self._slots[iteration] = buffer
             self._writes += 1
             return buffer
+
+    def slot_ref(self, iteration: int) -> PlaneRef | None:
+        """The pool plane backing this iteration's buffer, if any."""
+        with self._lock:
+            return self._refs.get(iteration)
 
     # -- reader API ------------------------------------------------------------
 
@@ -95,10 +137,22 @@ class Stream:
     # -- lifecycle ---------------------------------------------------------------
 
     def release(self, iteration: int) -> None:
-        """Drop the slot for a completed iteration (idempotent)."""
+        """Drop the slot for a completed iteration (idempotent).
+
+        Pool-backed buffers — whether acquired here via
+        :meth:`ensure_buffer` or written as :class:`~repro.hinch.shm.Packed`
+        transport values by a process dispatcher — go back to the pool's
+        free lists, preserving the slot-per-iteration memory bound.
+        """
         with self._lock:
-            self._slots.pop(iteration, None)
+            value = self._slots.pop(iteration, None)
             self._finalized.discard(iteration)
+            ref = self._refs.pop(iteration, None)
+        if self.pool is not None:
+            if ref is not None:
+                self.pool.release(ref)
+            else:
+                self.pool.release_packed(value)
 
     @property
     def live_slots(self) -> int:
@@ -116,9 +170,16 @@ class Stream:
 
 
 class StreamStore:
-    """All streams of one running application, created on first use."""
+    """All streams of one running application, created on first use.
 
-    def __init__(self) -> None:
+    An optional :class:`~repro.hinch.shm.SharedPlanePool` becomes the
+    buffer backend of every stream: sliced-writer buffers and packed
+    transport values are recycled through it instead of allocated per
+    iteration.
+    """
+
+    def __init__(self, pool: SharedPlanePool | None = None) -> None:
+        self.pool = pool
         self._lock = threading.Lock()
         self._streams: dict[str, Stream] = {}
         #: cached list of all streams, invalidated on stream creation, so
@@ -129,7 +190,7 @@ class StreamStore:
         with self._lock:
             stream = self._streams.get(name)
             if stream is None:
-                stream = Stream(name)
+                stream = Stream(name, self.pool)
                 self._streams[name] = stream
                 self._snapshot = None
             return stream

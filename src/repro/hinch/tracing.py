@@ -79,6 +79,17 @@ class Tracer:
             return 0.0
         return self.busy_time() / (span * workers)
 
+    def per_worker_busy(self) -> dict[int, float]:
+        """Busy seconds per worker — the fig-8-style occupancy curve.
+
+        Dispatcher-executed control jobs (manager invocations) appear
+        under worker ``-1`` on the process backend.
+        """
+        totals: dict[int, float] = {}
+        for e in self.events:
+            totals[e.worker] = totals.get(e.worker, 0.0) + e.duration
+        return dict(sorted(totals.items()))
+
     def per_node_totals(self) -> dict[str, float]:
         totals: dict[str, float] = {}
         for e in self.events:

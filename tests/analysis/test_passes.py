@@ -288,6 +288,31 @@ def test_x206_severity_depends_on_default_state(ports):
     assert diags and all(d.severity == Severity.INFO for d in diags)
 
 
+def test_x404_over_slicing_against_machine_width(ports, classes):
+    """Slice replication wider than the deployment is flagged — but only
+    when a machine width is supplied, and never when the copies fit."""
+    spec = sliced_pipeline(8)  # 8 divides height 8: no X402 noise
+
+    # no deployment width -> the pass is skipped entirely
+    assert "X404" not in codes_of(spec, ports, classes)
+
+    diags = [d for d in lint_string(spec, ports=ports, classes=classes,
+                                    machine_nodes=3) if d.code == "X404"]
+    # both definitions inside the slice region are over-replicated,
+    # each reported once (not once per copy)
+    assert {d.where for d in diags} == {"h", "v"}
+    assert len(diags) == 2
+    assert all(d.severity == Severity.WARNING for d in diags)
+    assert "5 excess copies" in diags[0].message
+
+    # copies fit on the machine -> clean
+    assert "X404" not in {
+        d.code
+        for d in lint_string(spec, ports=ports, classes=classes,
+                             machine_nodes=8)
+    }
+
+
 def test_x301_suppresses_redundant_x303(ports):
     trigger = CASES["X301"][0]
     codes = codes_of(trigger, ports)

@@ -1,0 +1,158 @@
+"""Concurrency stress for pool-backed streams.
+
+Sliced writers race on the shared whole-frame buffer while a full
+``pipeline_depth`` of iterations is in flight; the result must be
+bit-identical to a sequential fill, every slot must be released, and the
+pool's working set must stay bounded by the pipeline depth.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.hinch.shm import SharedPlanePool
+from repro.hinch.stream import Stream, StreamStore
+
+ROWS, COLS, SLICES = 3, 17, 6
+DEPTH, ITERS = 4, 40
+
+
+def _expected(iteration: int) -> np.ndarray:
+    out = np.empty((SLICES * ROWS, COLS), dtype=np.int32)
+    for k in range(SLICES):
+        out[k * ROWS:(k + 1) * ROWS, :] = iteration * 1000 + k
+    return out
+
+
+def test_sliced_writers_full_pipeline_bit_identical_to_sequential():
+    pool = SharedPlanePool()
+    store = StreamStore(pool)
+    stream = store.stream("frame")
+    sem = threading.Semaphore(DEPTH)  # pipeline admission, like the scheduler
+    ok: dict[int, bool] = {}
+
+    def write_slice(iteration: int, k: int) -> None:
+        buf = stream.ensure_buffer(
+            iteration, shape=(SLICES * ROWS, COLS), dtype=np.int32
+        )
+        buf[k * ROWS:(k + 1) * ROWS, :] = iteration * 1000 + k
+
+    def run_iteration(iteration: int) -> None:
+        with sem:
+            writers = [
+                threading.Thread(target=write_slice, args=(iteration, k))
+                for k in range(SLICES)
+            ]
+            for t in writers:
+                t.start()
+            for t in writers:
+                t.join()
+            # reader runs after every writer copy, as the scheduler orders
+            got = stream.get(iteration)
+            ok[iteration] = bool(np.array_equal(got, _expected(iteration)))
+            store.release_iteration(iteration)
+
+    threads = [
+        threading.Thread(target=run_iteration, args=(it,))
+        for it in range(ITERS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+        assert not t.is_alive()
+
+    assert ok == {it: True for it in range(ITERS)}
+    assert stream.stats == (ITERS * SLICES, ITERS)
+    assert stream.live_slots == 0
+    # every plane went back to the free list ...
+    assert pool.live_planes == 0
+    # ... and the working set converged to the pipeline depth: at most
+    # DEPTH slots were ever live, so at most DEPTH planes exist
+    assert pool.total_planes <= DEPTH
+
+
+def test_put_is_write_once_under_contention():
+    stream = Stream("s")
+    n = 8
+    barrier = threading.Barrier(n)
+    wins: list[int] = []
+    errors: list[int] = []
+    lock = threading.Lock()
+
+    def racer(i: int) -> None:
+        barrier.wait()
+        try:
+            stream.put(0, i)
+            with lock:
+                wins.append(i)
+        except StreamError:
+            with lock:
+                errors.append(i)
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(wins) == 1
+    assert len(errors) == n - 1
+    assert stream.get(0) == wins[0]
+
+
+def test_ensure_buffer_allocates_exactly_once_under_contention():
+    pool = SharedPlanePool()
+    stream = Stream("s", pool)
+    n = 16
+    barrier = threading.Barrier(n)
+    buffers: list[np.ndarray] = []
+    lock = threading.Lock()
+
+    def racer() -> None:
+        barrier.wait()
+        buf = stream.ensure_buffer(0, shape=(8, 8), dtype=np.uint8)
+        with lock:
+            buffers.append(buf)
+
+    threads = [threading.Thread(target=racer) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert len(buffers) == n
+    assert pool.stats.acquires == 1  # one plane, shared by every copy
+    assert all(b is buffers[0] for b in buffers)
+
+
+def test_concurrent_release_returns_plane_exactly_once():
+    pool = SharedPlanePool()
+    stream = Stream("s", pool)
+    stream.ensure_buffer(0, shape=(8, 8), dtype=np.uint8)
+    n = 8
+    barrier = threading.Barrier(n)
+
+    def racer() -> None:
+        barrier.wait()
+        stream.release(0)
+
+    threads = [threading.Thread(target=racer) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    # a double release would corrupt the free list (the same plane handed
+    # out twice); the slot pop makes release idempotent instead
+    assert pool.stats.released == 1
+    assert pool.live_planes == 0
+
+
+def test_sliced_write_after_put_still_raises_with_pool():
+    pool = SharedPlanePool()
+    stream = Stream("s", pool)
+    stream.put(0, np.zeros(4))
+    with pytest.raises(StreamError, match="after finalizing"):
+        stream.ensure_buffer(0, shape=(4,), dtype=np.float64)

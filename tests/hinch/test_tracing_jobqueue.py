@@ -154,6 +154,96 @@ def test_push_after_close_is_dropped():
     assert q.total_pushed == 0
 
 
+def test_drain_serves_remaining_then_sentinels():
+    q = JobQueue()
+    q.push(Job(0, "a"))
+    q.push(Job(0, "b"))
+    q.drain()
+    assert q.pop() == Job(0, "a")
+    assert q.pop() == Job(0, "b")
+    assert q.pop() is None
+    assert q.pop() is None  # sentinel is sticky
+
+
+def test_drain_unblocks_waiting_consumers():
+    q = JobQueue()
+    results = []
+
+    def consumer():
+        results.append(q.pop())
+
+    t = threading.Thread(target=consumer)
+    t.start()
+    time.sleep(0.02)
+    q.drain()
+    t.join(timeout=2)
+    assert not t.is_alive()
+    assert results == [None]
+
+
+def test_push_after_drain_raises_lost_work_error():
+    """drain() is only legal once the scheduler is done; a later push
+    means a completion would be silently lost — that's the bug the
+    sentinel protocol exists to catch."""
+    import pytest
+
+    from repro.errors import SchedulingError
+
+    q = JobQueue()
+    q.drain()
+    with pytest.raises(SchedulingError, match="would be lost"):
+        q.push(Job(0, "a"))
+    with pytest.raises(SchedulingError, match="would be lost"):
+        q.push_all([Job(0, "b")])
+    # close() keeps its historical abort semantics: silent drop
+    q2 = JobQueue()
+    q2.close()
+    assert q2.push(Job(0, "a")) == 0
+
+
+def test_shutdown_race_loses_no_completed_iteration():
+    """Workers racing toward shutdown must drain every queued job.
+
+    Mirrors the runtime's worker loop: completing iteration ``i`` of a
+    chain pushes ``i+1``; the worker that completes the final iteration
+    of the final chain calls :meth:`JobQueue.drain` while its peers are
+    mid-pop.  Every (chain, iteration) must be observed exactly once —
+    the old close()-based shutdown could silently drop a push racing
+    with the shutdown flag.
+    """
+    chains, depth, workers = 8, 50, 4
+    q = JobQueue()
+    completed: set[tuple[str, int]] = set()
+    state = {"remaining": chains}
+    lock = threading.Lock()
+
+    def worker():
+        while True:
+            job = q.pop()
+            if job is None:
+                return
+            with lock:
+                key = (job.node_id, job.iteration)
+                assert key not in completed
+                completed.add(key)
+                if job.iteration + 1 < depth:
+                    q.push(Job(job.iteration + 1, job.node_id))
+                else:
+                    state["remaining"] -= 1
+                    if state["remaining"] == 0:
+                        q.drain()
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    q.push_all([Job(0, f"chain{c}") for c in range(chains)])
+    for t in threads:
+        t.join(timeout=10)
+        assert not t.is_alive()
+    assert len(completed) == chains * depth
+    assert len(q) == 0
+
+
 def test_concurrent_producers_consumers():
     q = JobQueue()
     produced = 400
