@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-perf figures examples lint clean
+.PHONY: install test test-fast test-faults bench bench-perf figures examples lint clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,13 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q --ignore=tests/test_calibration.py
+
+# Fault-injection suite plus a CLI smoke: crash a worker mid-run and
+# require full recovery (docs/fault-tolerance.md).
+test-faults:
+	$(PYTHON) -m pytest tests/hinch/test_faults.py -q
+	PYTHONPATH=src $(PYTHON) -m repro run examples/specs/pip1.xml \
+		--backend process --workers 2 --inject-fault kill:1
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

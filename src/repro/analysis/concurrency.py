@@ -173,11 +173,18 @@ def check_configuration(
 
 
 def check_event_queues(bag: DiagnosticBag, program: Program) -> None:
-    """X305/X306: event queues with no sender or no polling manager.
+    """X305/X306/X405: sanity checks on the event plumbing.
 
     Senders are component instances with a ``queue`` init parameter (the
     convention used by ``timer`` and ``monitor`` sources) plus ``forward``
     handler targets; receivers are manager queues.
+
+    X405 is the static counterpart of the runtime's
+    :class:`~repro.hinch.events.EventStormWarning` high-water check: a
+    ``forward`` handler reposts the event *under the same name*, so if
+    the managers' forward edges close a cycle over ``(queue, event)``
+    pairs, one injected event bounces between the queues forever and the
+    queues grow without bound.
     """
     senders: set[str] = set()
     for inst in program.components.values():
@@ -208,3 +215,28 @@ def check_event_queues(bag: DiagnosticBag, program: Program) -> None:
                 f"events are forwarded to queue {target!r} but no manager "
                 "polls it; forwarded events are dropped",
             )
+
+    # X405 — forward cycle: an edge (queue, event) -> (target, event) for
+    # every forward handler of a manager polling ``queue``; forwarding
+    # preserves the event name, so a cycle here loops one event forever.
+    forward_succ: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for mgr in program.managers.values():
+        for handler in mgr.handlers:
+            if handler.action != "forward" or handler.target is None:
+                continue
+            src = (mgr.queue, handler.event)
+            dst = (handler.target, handler.event)
+            forward_succ.setdefault(src, set()).add(dst)
+            forward_succ.setdefault(dst, set())
+    for scc in _cyclic_sccs(forward_succ):  # type: ignore[arg-type]
+        queues = [queue for queue, _ in scc]
+        event = scc[0][1]
+        bag.report(
+            "X405",
+            f"event {event!r} is forwarded in a cycle: "
+            + " -> ".join(queues + [queues[0]])
+            + "; one posted event circulates forever and the queues grow "
+            "without bound (the runtime's EventQueue high-water warning "
+            "fires, but the storm is statically avoidable)",
+            where=queues[0],
+        )

@@ -118,6 +118,7 @@ CODES: dict[str, CodeInfo] = _catalogue(
     ("X402", _W, "performance", "slice count does not divide the frame height"),
     ("X403", _I, "performance", "component class has no cost profile"),
     ("X404", _W, "performance", "slice replication exceeds the machine node count"),
+    ("X405", _W, "performance", "forward handlers cycle an event between queues"),
 )
 
 FAMILIES: tuple[str, ...] = ("validation", "liveness", "concurrency", "performance")

@@ -153,6 +153,12 @@ class ProbeSink(Component):
     def merge_state(self, state: int) -> None:
         self.frames_seen += state
 
+    def checkpoint_state(self) -> int | None:
+        if not self.frames_seen:
+            return None
+        state, self.frames_seen = self.frames_seen, 0
+        return state
+
 
 def probe_registry() -> dict[str, type[Component]]:
     return default_registry({
@@ -297,6 +303,55 @@ def _measure_app(
     return out
 
 
+def _measure_faults(profile: RuntimeProfile) -> dict[str, Any]:
+    """Fault-recovery probe: lose a worker mid-run, measure the cost.
+
+    Uses the sleep-probe app (runtime-dominated, core-count independent)
+    at the widest worker configuration.  ``kill`` loses a worker without
+    warning mid-run; ``hang`` wedges one until the watchdog fires.  Both
+    must still complete every frame.  This section is informational — it
+    is deliberately *not* flattened by :func:`_wall_metrics`, so recovery
+    timing (dominated by the scripted fault, not by runtime code) never
+    trips the regression gate.
+    """
+    from repro.hinch import ProcessRuntime
+
+    registry = probe_registry()
+    program = probe_program(profile)
+    n = max(profile.workers)
+    mid_job = max(1, profile.frames)  # roughly mid-run in dispatch order
+    watchdog = max(0.5, profile.probe_sleep_ms * 20.0 / 1000.0)
+    out: dict[str, Any] = {"workers": n, "watchdog": watchdog}
+    scenarios: tuple[tuple[str, dict[str, Any]], ...] = (
+        ("clean", {}),
+        ("kill", {"faults": f"kill:{mid_job}"}),
+        ("hang", {"faults": f"hang:{mid_job}", "watchdog": watchdog}),
+    )
+    for scenario, kwargs in scenarios:
+        rt = ProcessRuntime(
+            program, registry, workers=n,
+            pipeline_depth=profile.pipeline_depth,
+            max_iterations=profile.frames, **kwargs,
+        )
+        result = rt.run()
+        if result.completed_iterations != profile.frames:
+            raise ReproError(
+                f"faults/{scenario}: completed {result.completed_iterations} "
+                f"of {profile.frames} iterations"
+            )
+        kinds: dict[str, int] = {}
+        for event in result.fault_events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        out[scenario] = {
+            "seconds": round(result.elapsed_seconds, 6),
+            "fault_kinds": kinds,
+            "retries": rt.scheduler.retries,
+            "frames_seen": result.components["sink"].frames_seen,
+            "leaked_planes": rt.pool.live_planes,
+        }
+    return out
+
+
 def collect(
     profile: RuntimeProfile, *, repeats: int | None = None
 ) -> dict[str, Any]:
@@ -325,6 +380,7 @@ def collect(
     payload["probe"] = _measure_app(
         probe_program(profile), probe_registry(), profile
     )
+    payload["faults"] = _measure_faults(profile)
     return payload
 
 
@@ -415,5 +471,21 @@ def render_report(payload: dict, baseline: dict | None = None) -> str:
             lines.append(
                 f"  occupancy x{occ['workers']}: {busy} "
                 f"(utilization {occ['utilization']:.0%})"
+            )
+    faults = payload.get("faults")
+    if faults:
+        lines.append(f"fault recovery (probe, x{faults['workers']}):")
+        for scenario in ("clean", "kill", "hang"):
+            cell = faults.get(scenario)
+            if not cell:
+                continue
+            kinds = cell.get("fault_kinds", {})
+            detail = (
+                ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+                or "no faults"
+            )
+            lines.append(
+                f"  {scenario:<6} {cell['seconds']:8.3f}s  "
+                f"retries={cell['retries']}  {detail}"
             )
     return "\n".join(lines)

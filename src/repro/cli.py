@@ -147,6 +147,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             workers=workers,
             pipeline_depth=args.pipeline_depth,
             max_iterations=args.iterations,
+            watchdog=args.watchdog,
+            max_retries=args.max_retries,
+            respawn=not args.no_respawn,
+            faults=args.inject_fault,
         ).run()
         fps = (
             result.completed_iterations / result.elapsed_seconds
@@ -158,6 +162,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{result.elapsed_seconds:.3f}s on {workers} worker process(es) "
             f"({fps:.1f} frames/s); {result.reconfig_count} reconfiguration(s)"
         )
+        if result.fault_events:
+            counts: dict[str, int] = {}
+            for event in result.fault_events:
+                counts[event["kind"]] = counts.get(event["kind"], 0) + 1
+            summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"fault recovery: {summary}")
     else:
         from repro.spacecake import SimRuntime
 
@@ -405,6 +415,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipeline-depth", type=int, default=5)
     p.add_argument("--execute", action="store_true",
                    help="sim backend: also run components functionally")
+    p.add_argument("--inject-fault", default=None, metavar="SPEC",
+                   help="process backend: scripted worker failures, e.g. "
+                        "'kill:1,hang:5,slow:2:50' (kind:job[:ms], 1-based "
+                        "dispatch order; see docs/fault-tolerance.md)")
+    p.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                   help="process backend: per-job watchdog — a worker "
+                        "holding one job longer is killed and the job "
+                        "retried (default: off)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="process backend: retry budget per job after "
+                        "worker loss (default: 2)")
+    p.add_argument("--no-respawn", action="store_true",
+                   help="process backend: degrade onto surviving workers "
+                        "instead of respawning dead ones")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("predict", help="analytic performance estimate")

@@ -543,6 +543,14 @@ class VideoSink(Component):
         self.frames_written += written
         self.frames.extend(frames)
 
+    def checkpoint_state(self) -> tuple[int, list[tuple[int, Frame]]] | None:
+        if not self.frames_written and not self.frames:
+            return None
+        state = (self.frames_written, self.frames)
+        self.frames_written = 0
+        self.frames = []
+        return state
+
 
 class PlaneSink(Component):
     """Single-plane sink (the Blur application's output)."""
@@ -583,6 +591,14 @@ class PlaneSink(Component):
         written, planes = state
         self.frames_written += written
         self.planes.extend(planes)
+
+    def checkpoint_state(self) -> tuple[int, list[tuple[int, np.ndarray]]] | None:
+        if not self.frames_written and not self.planes:
+            return None
+        state = (self.frames_written, self.planes)
+        self.frames_written = 0
+        self.planes = []
+        return state
 
 
 # ---------------------------------------------------------------------------

@@ -53,6 +53,35 @@ class SchedulingError(ReproError):
     """The Hinch scheduler reached an inconsistent state."""
 
 
+class WorkerFailure(SchedulingError):
+    """A worker process was lost and the work could not be recovered.
+
+    Raised by the process backend when a worker dies (or hangs past the
+    watchdog) and either the in-flight job's retry budget is exhausted or
+    no worker remains to take the work.  Carries enough structure for the
+    caller to tell *which* worker and job were involved, plus the remote
+    traceback when the worker managed to report one before dying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        worker: int | None = None,
+        job: tuple[int, str] | None = None,
+        remote_traceback: str | None = None,
+    ) -> None:
+        self.worker = worker
+        self.job = job
+        self.remote_traceback = remote_traceback
+        if remote_traceback:
+            message = (
+                f"{message}\n--- remote traceback (worker {worker}) ---\n"
+                f"{remote_traceback.rstrip()}"
+            )
+        super().__init__(message)
+
+
 class StreamError(ReproError):
     """Stream protocol violation (double write, read-before-write, ...)."""
 

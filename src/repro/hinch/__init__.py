@@ -24,7 +24,8 @@ This package reproduces those responsibilities:
   scheduler).
 """
 
-from repro.hinch.events import Event, EventBroker, EventQueue
+from repro.hinch.events import Event, EventBroker, EventQueue, EventStormWarning
+from repro.hinch.faults import FaultInjector, FaultSpec, parse_faults
 from repro.hinch.stream import Stream, StreamStore
 from repro.hinch.component import Component, JobContext
 from repro.hinch.jobqueue import Job, JobQueue
@@ -39,6 +40,10 @@ __all__ = [
     "Event",
     "EventQueue",
     "EventBroker",
+    "EventStormWarning",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_faults",
     "Stream",
     "StreamStore",
     "Component",

@@ -120,6 +120,24 @@ class Component:
     def merge_state(self, state: Any) -> None:
         """Fold one worker mirror's :meth:`snapshot_state` into this copy."""
 
+    def checkpoint_state(self) -> Any | None:
+        """Hand off the state accrued since the previous checkpoint.
+
+        The process backend calls this on each worker mirror right after
+        every completed job and ships the returned delta with the
+        completion message; the dispatcher folds it into its own mirror
+        via :meth:`merge_state` immediately.  State is thus acknowledged
+        job-by-job instead of only at shutdown — a worker crash can lose
+        at most the unacknowledged job, which the dispatcher retries
+        anyway, so collected output survives worker failure bit-for-bit.
+
+        Implementations must *move* the state out (snapshot-and-reset),
+        or the residual :meth:`snapshot_state` at shutdown would merge it
+        twice.  Return ``None`` (the default) when nothing accrued; the
+        delta must be picklable.
+        """
+        return None
+
     # -- helpers -----------------------------------------------------------------
 
     def param(self, name: str, default: Any = None) -> Any:

@@ -15,12 +15,30 @@ time.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import EventError
 
-__all__ = ["Event", "EventQueue", "EventBroker"]
+__all__ = [
+    "Event",
+    "EventQueue",
+    "EventBroker",
+    "EventStormWarning",
+    "DEFAULT_HIGH_WATER",
+]
+
+#: default per-queue pending-event count that triggers a storm warning.
+#: Normal applications hold a handful of events between manager polls;
+#: thousands pending means nobody is polling the queue, or a forward
+#: loop between managers is amplifying events (lint X405 catches the
+#: statically visible case).
+DEFAULT_HIGH_WATER = 10_000
+
+
+class EventStormWarning(RuntimeWarning):
+    """An event queue crossed its high-water mark between polls."""
 
 
 @dataclass(frozen=True)
@@ -39,23 +57,54 @@ class Event:
 
 
 class EventQueue:
-    """Thread-safe FIFO of events."""
+    """Thread-safe FIFO of events.
 
-    def __init__(self, name: str) -> None:
+    The queue is unbounded by design (posting must never block a
+    component), but it *watches* its own depth: crossing ``high_water``
+    pending events between polls emits an :class:`EventStormWarning`, and
+    the threshold doubles after each warning so a runaway storm logs
+    O(log n) warnings instead of one per post.  Draining the queue
+    (:meth:`poll`) re-arms the original threshold.  Pass
+    ``high_water=None`` to disable the check.
+    """
+
+    def __init__(
+        self, name: str, *, high_water: int | None = DEFAULT_HIGH_WATER
+    ) -> None:
+        if high_water is not None and high_water < 1:
+            raise EventError(
+                f"event queue high_water must be >= 1 or None, got {high_water}"
+            )
         self.name = name
+        self.high_water = high_water
+        self._warn_at = high_water
         self._lock = threading.Lock()
         self._items: list[Event] = []
         self._posted = 0
 
     def post(self, event: Event) -> None:
+        warn_depth = None
         with self._lock:
             self._items.append(event)
             self._posted += 1
+            if self._warn_at is not None and len(self._items) >= self._warn_at:
+                warn_depth = len(self._items)
+                self._warn_at *= 2
+        if warn_depth is not None:
+            warnings.warn(
+                f"event queue {self.name!r} holds {warn_depth} undelivered "
+                f"events (high-water {self.high_water}): no manager is "
+                "polling it, or a manager forward loop is amplifying events "
+                "(lint X405 detects the static case)",
+                EventStormWarning,
+                stacklevel=2,
+            )
 
     def poll(self) -> list[Event]:
         """Drain and return all pending events (oldest first)."""
         with self._lock:
             items, self._items = self._items, []
+            self._warn_at = self.high_water
         return items
 
     def peek_count(self) -> int:
@@ -80,9 +129,10 @@ class EventBroker:
     queues.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, high_water: int | None = DEFAULT_HIGH_WATER) -> None:
         self._lock = threading.Lock()
         self._queues: dict[str, EventQueue] = {}
+        self._high_water = high_water
 
     def queue(self, name: str) -> EventQueue:
         if not name:
@@ -90,7 +140,7 @@ class EventBroker:
         with self._lock:
             queue = self._queues.get(name)
             if queue is None:
-                queue = EventQueue(name)
+                queue = EventQueue(name, high_water=self._high_water)
                 self._queues[name] = queue
             return queue
 

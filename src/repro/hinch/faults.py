@@ -1,0 +1,140 @@
+"""Deterministic fault injection for the process backend.
+
+Fault tolerance that is only exercised by real hardware failures is
+untested fault tolerance.  This module lets a run *script* worker
+failures: each :class:`FaultSpec` names one dispatched task job (1-based,
+counted in dispatch order on the dispatcher, re-dispatches included) and
+a failure mode to apply to the worker that receives it:
+
+* ``kill``  — the worker exits with ``os._exit`` before running the job,
+  exactly like a segfault or OOM kill: no goodbye, no state flush.
+* ``hang``  — the worker sleeps forever holding the job; only the
+  dispatcher's per-job watchdog (``watchdog=`` / ``--watchdog``) can
+  recover from this one.
+* ``slow``  — the worker sleeps ``ms`` milliseconds, then runs the job
+  normally; useful for exercising watchdog *near*-misses.
+
+Specs are one-shot: the directive is consumed when its job index is
+dispatched, so the retry of a killed job runs clean.  Everything is
+counted on the dispatcher, which keeps injection deterministic for a
+given schedule — the same spec kills the same job every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SchedulingError
+
+__all__ = ["FaultSpec", "FaultInjector", "parse_faults"]
+
+#: failure modes understood by the worker loop
+KINDS = ("kill", "hang", "slow")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scripted failure: hit dispatched task job number ``at_job``."""
+
+    kind: str
+    at_job: int
+    ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise SchedulingError(
+                f"unknown fault kind {self.kind!r} (expected one of {KINDS})"
+            )
+        if self.at_job < 1:
+            raise SchedulingError(
+                f"fault job index must be >= 1 (1-based dispatch order), "
+                f"got {self.at_job}"
+            )
+        if self.kind == "slow" and self.ms <= 0:
+            raise SchedulingError(
+                f"slow fault needs a positive latency, got {self.ms}ms"
+            )
+
+    def directive(self) -> tuple:
+        """The wire form shipped to the worker with the job message."""
+        if self.kind == "slow":
+            return ("slow", self.ms)
+        return (self.kind,)
+
+
+def parse_faults(text: str) -> list[FaultSpec]:
+    """Parse the CLI syntax: ``kill:1,hang:5,slow:2:50``.
+
+    Each comma-separated entry is ``kind:job`` (``slow`` takes a third
+    ``:ms`` field).  Job indices are 1-based dispatch order and must be
+    unique — two faults aimed at the same job would shadow each other.
+    """
+    specs: list[FaultSpec] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        kind = parts[0].strip()
+        try:
+            if kind == "slow":
+                if len(parts) != 3:
+                    raise ValueError("slow takes kind:job:ms")
+                specs.append(FaultSpec(kind, int(parts[1]), float(parts[2])))
+            else:
+                if len(parts) != 2:
+                    raise ValueError("expected kind:job")
+                specs.append(FaultSpec(kind, int(parts[1])))
+        except ValueError as exc:
+            raise SchedulingError(
+                f"malformed fault spec {entry!r}: {exc} "
+                "(syntax: kill:J | hang:J | slow:J:MS, comma-separated)"
+            ) from None
+    seen: set[int] = set()
+    for spec in specs:
+        if spec.at_job in seen:
+            raise SchedulingError(
+                f"two faults target dispatched job {spec.at_job}; "
+                "indices must be unique"
+            )
+        seen.add(spec.at_job)
+    return specs
+
+
+class FaultInjector:
+    """Hands out one-shot fault directives keyed by dispatch index."""
+
+    def __init__(self, specs: Iterable[FaultSpec] | str) -> None:
+        if isinstance(specs, str):
+            specs = parse_faults(specs)
+        self._pending: dict[int, FaultSpec] = {s.at_job: s for s in specs}
+        self.injected: list[FaultSpec] = []
+
+    def directive(self, job_index: int) -> tuple | None:
+        """The directive for the ``job_index``-th dispatched task job.
+
+        Consumes the spec (one-shot): the retry of a faulted job is
+        dispatched with no directive attached.
+        """
+        spec = self._pending.pop(job_index, None)
+        if spec is None:
+            return None
+        self.injected.append(spec)
+        return spec.directive()
+
+    @property
+    def remaining(self) -> list[FaultSpec]:
+        """Specs whose job index was never dispatched (run too short)."""
+        return sorted(self._pending.values(), key=lambda s: s.at_job)
+
+
+def coerce_injector(
+    faults: "str | Sequence[FaultSpec] | FaultInjector | None",
+) -> FaultInjector | None:
+    """Normalize the runtime's ``faults=`` argument to an injector."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    return FaultInjector(faults)

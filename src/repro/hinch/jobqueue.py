@@ -92,6 +92,26 @@ class JobQueue:
             self._not_empty.notify(len(jobs))
             return len(jobs)
 
+    def push_front(self, job: Job) -> int:
+        """Re-enqueue a recovered job at the FIFO head (failure retry).
+
+        A retry jumps the queue so the re-run of iteration *k*'s node
+        does not queue behind work from deeper iterations that (directly
+        or via the pipeline) depends on it.  Unlike :meth:`push`, this is
+        legal while draining: a retry re-issues a job the scheduler still
+        counts as dispatched-but-incomplete, so ``drain()`` (which
+        requires the scheduler to be *done*) can never have happened with
+        such a job outstanding — tolerating the call keeps the failure
+        path free of ordering assumptions about shutdown.
+        """
+        with self._not_empty:
+            if self._closed:
+                return 0  # aborted: the retry no longer matters
+            self._items.appendleft(job)
+            self._pushed += 1
+            self._not_empty.notify()
+            return 1
+
     def pop(self, timeout: float | None = None) -> Job | None:
         """Block until a job is available; None on shutdown or timeout."""
         with self._not_empty:

@@ -28,6 +28,17 @@ processes.  Workers never allocate planes themselves; they RPC the
 dispatcher (``alloc`` / ``ensure``), which keeps the pool's free lists
 single-threaded and the ``pipeline_depth`` memory bound intact.
 
+The dispatcher also owns **failure semantics** (the coordinator, not the
+components, decides what a crash means): it tracks each worker's
+in-flight job and shared-memory leases, and on worker death — EOF on the
+control pipe, the process sentinel firing, or a per-job ``watchdog``
+timeout — it reclaims the leased planes into the pool, re-queues the job
+at the FIFO head with a bounded retry budget, and either respawns a
+replacement worker or degrades onto the survivors.  Component state is
+checkpointed job-by-job (:meth:`~repro.hinch.component.Component.
+checkpoint_state`), so collected output survives a crash bit-for-bit.
+Deterministic failures can be scripted with :mod:`repro.hinch.faults`.
+
 Requires a ``fork``-capable platform (Linux): workers inherit the
 compiled :class:`~repro.core.program.Program` and component registry by
 address-space copy, so nothing about the application itself is pickled.
@@ -36,17 +47,19 @@ address-space copy, so nothing about the application itself is pickled.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from multiprocessing.connection import Connection, wait
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.program import Program, ProgramGraph
-from repro.errors import SchedulingError, StreamError
+from repro.errors import SchedulingError, StreamError, WorkerFailure
 from repro.hinch.component import Component, JobContext
 from repro.hinch.events import Event, EventBroker
+from repro.hinch.faults import FaultInjector, FaultSpec, coerce_injector
 from repro.hinch.jobqueue import Job, JobQueue
 from repro.hinch.manager import ManagerRuntime
 from repro.hinch.runtime import ComponentHost, RunResult
@@ -56,6 +69,11 @@ from repro.hinch.stream import StreamStore
 from repro.hinch.tracing import TraceEvent, Tracer
 
 __all__ = ["ProcessRuntime"]
+
+#: exit code of a worker killed by an injected ``kill`` fault — looks
+#: exactly like an external SIGKILL/OOM to the dispatcher, the code only
+#: aids post-mortem debugging of the harness itself
+_FAULT_EXIT_CODE = 113
 
 #: pool counters a worker reports back at shutdown (summed by dispatcher)
 _WORKER_STAT_KEYS = (
@@ -174,6 +192,17 @@ class _WorkerStream:
     ) -> Any:
         ws = self.ws
         buf = ws.ensured.get(self.name)
+        if buf is not None and shape is not None:
+            want_dtype = np.dtype(dtype) if dtype is not None else None
+            if tuple(shape) != buf.shape or (
+                want_dtype is not None and want_dtype != buf.dtype
+            ):
+                raise StreamError(
+                    f"stream {self.name!r}: ensure_buffer geometry mismatch "
+                    f"in iteration {iteration}: requested "
+                    f"{tuple(shape)}/{want_dtype}, slot already allocated "
+                    f"as {buf.shape}/{buf.dtype}"
+                )
         if buf is None:
             if shape is None:
                 # Legacy factory path: use the factory's array purely as
@@ -261,9 +290,34 @@ class _Worker:
 
     # -- job execution ------------------------------------------------------
 
+    @staticmethod
+    def _apply_fault(fault: tuple | None) -> None:
+        """Enact an injected failure directive before running the job.
+
+        ``kill`` uses ``os._exit`` so the worker dies exactly like a
+        segfault/OOM kill: no goodbye message, no cleanup, no state
+        flush.  ``hang`` holds the job forever — only the dispatcher's
+        watchdog recovers it.  ``slow`` just adds latency.
+        """
+        if fault is None:
+            return
+        kind = fault[0]
+        if kind == "kill":
+            os._exit(_FAULT_EXIT_CODE)
+        elif kind == "hang":
+            while True:  # until the watchdog kills us
+                time.sleep(3600.0)
+        elif kind == "slow":
+            time.sleep(fault[1] / 1000.0)
+
     def _run_job(
-        self, iteration: int, node_id: str, inputs: dict[str, Packed]
+        self,
+        iteration: int,
+        node_id: str,
+        inputs: dict[str, Packed],
+        fault: tuple | None = None,
     ) -> None:
+        self._apply_fault(fault)
         node = self.pg.graph.node(node_id)
         payload = node.payload
         instances = payload if isinstance(payload, tuple) else (payload,)
@@ -289,9 +343,19 @@ class _Worker:
             )
             component.run(ctx)
         end = time.perf_counter()
+        # Checkpoint the state this job accrued: the delta rides on the
+        # completion message (NOT through pool.pack — checkpoints are
+        # control metadata, not stream traffic) and is merged into the
+        # dispatcher mirror before the job is acknowledged, so a later
+        # crash of this worker cannot lose acknowledged output.
+        state_updates: dict[str, Any] = {}
+        for instance in instances:
+            delta = self.host.live[instance.instance_id].checkpoint_state()
+            if delta is not None:
+                state_updates[instance.instance_id] = delta
         self.conn.send(
             ("done", iteration, node_id, ws.outputs, events, stop_requested,
-             start, end)
+             start, end, state_updates)
         )
 
     # -- main loop -----------------------------------------------------------
@@ -302,7 +366,8 @@ class _Worker:
                 msg = self.conn.recv()
                 tag = msg[0]
                 if tag == "job":
-                    self._run_job(msg[1], msg[2], msg[3])
+                    self._run_job(msg[1], msg[2], msg[3],
+                                  msg[4] if len(msg) > 4 else None)
                 elif tag == "stop":
                     snapshots = {}
                     for instance_id, component in self.host.live.items():
@@ -356,7 +421,25 @@ class ProcessRuntime:
     semantic decision — job readiness, load balancing, event handling,
     reconfiguration — is made by the same single-threaded dispatcher
     state machines the threaded backend uses under its lock.
+
+    Fault-tolerance knobs:
+
+    * ``watchdog`` — per-job wall-clock budget in seconds.  A worker
+      holding one job longer is presumed wedged, killed, and its job
+      retried.  ``None`` (default) disables the watchdog; worker *death*
+      is still detected immediately via pipe EOF / process sentinels.
+    * ``max_retries`` — how many times one ``(iteration, node)`` job may
+      be re-issued after losing its worker before the run fails with a
+      structured :class:`~repro.errors.WorkerFailure`.
+    * ``respawn`` — replace dead workers (default) or degrade onto the
+      survivors; with no survivor left the run fails.
+    * ``faults`` — a scripted failure plan (spec string, list of
+      :class:`~repro.hinch.faults.FaultSpec`, or a
+      :class:`~repro.hinch.faults.FaultInjector`) for testing.
     """
+
+    #: idle-loop liveness check period when no watchdog deadline is nearer
+    _HEARTBEAT = 60.0
 
     def __init__(
         self,
@@ -369,15 +452,27 @@ class ProcessRuntime:
         trace: bool = False,
         option_states: Mapping[str, bool] | None = None,
         group_chains: bool = False,
+        watchdog: float | None = None,
+        max_retries: int = 2,
+        respawn: bool = True,
+        faults: str | Sequence[FaultSpec] | FaultInjector | None = None,
     ) -> None:
         if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
+        if watchdog is not None and watchdog <= 0:
+            raise SchedulingError(f"watchdog must be > 0 seconds, got {watchdog}")
+        if max_retries < 0:
+            raise SchedulingError(f"max_retries must be >= 0, got {max_retries}")
         self.program = program
         self.registry = registry
         self.workers = workers
         self.pipeline_depth = pipeline_depth
         self.max_iterations = max_iterations
         self.group_chains = group_chains
+        self.watchdog = watchdog
+        self.max_retries = max_retries
+        self.respawn = respawn
+        self.fault_injector = coerce_injector(faults)
         self.broker = EventBroker()
         self.pool = SharedPlanePool(shared=True)
         self.streams = StreamStore(self.pool)
@@ -401,10 +496,36 @@ class ProcessRuntime:
         self.queue = JobQueue()
         self.reconfig_log: list[tuple[int, dict[str, bool]]] = []
         self._worker_pool_stats = {k: 0 for k in _WORKER_STAT_KEYS}
+        self._ctx: Any = None
+        #: slot -> control pipe / process handle (None until spawned;
+        #: entries are *replaced* on respawn, the slot id is stable)
         self._conns: list[Connection] = []
         self._procs: list[Any] = []
         self._idle: set[int] = set()
         self._busy: dict[int, Job] = {}
+        #: slots currently backed by a live worker process
+        self._live: set[int] = set()
+        #: slot -> monotonically increasing worker incarnation id; retry
+        #: exclusion is per-incarnation so a respawned worker is eligible
+        #: for the job its predecessor died on
+        self._incarnation: list[int] = []
+        self._next_incarnation = 0
+        #: slot -> planes RPC-allocated during the current job (ownership
+        #: moves to the stream slots on "done"; reclaimed on failure)
+        self._leases: dict[int, list[PlaneRef]] = {}
+        #: slot -> watchdog deadline (perf_counter) for the current job
+        self._deadlines: dict[int, float] = {}
+        #: (iteration, node_id) -> failed attempts so far
+        self._attempts: dict[tuple[int, str], int] = {}
+        #: (iteration, node_id) -> worker incarnations that failed it
+        self._excluded: dict[tuple[int, str], set[int]] = {}
+        #: parameter reconfigurations already broadcast, replayed to
+        #: respawned workers so their fresh mirrors catch up
+        self._sent_reconfigs: list[tuple[str, str]] = []
+        #: dispatched task jobs (1-based), the fault injector's clock
+        self._dispatched_tasks = 0
+        self._respawns = 0
+        self.fault_events: list[dict[str, Any]] = []
 
     def _make_pg(
         self, program: Program, option_states: Mapping[str, bool] | None
@@ -436,9 +557,10 @@ class ProcessRuntime:
         self._target_states = dict(states)
         self.reconfig_log.append((resume_iteration, dict(states)))
         # The graph is quiescent (no jobs in flight), so every worker is
-        # idle and will process the splice before its next job.
-        for conn in self._conns:
-            conn.send(("splice", dict(states)))
+        # idle and will process the splice before its next job.  self.pg
+        # is already the new graph, so a worker respawned by a send
+        # failure here forks with the post-splice option states baked in.
+        self._broadcast(("splice", dict(states)))
         return new_pg
 
     # -- ReconfigController --------------------------------------------------
@@ -476,9 +598,26 @@ class ProcessRuntime:
                 component.reconfigure(request)
         # ... and every worker applies the request to its own mirrors,
         # possibly mid-job of an unrelated component (same concurrency
-        # the threaded backend exhibits at nodes > 1).
-        for conn in self._conns:
-            conn.send(("reconfigure", manager, request))
+        # the threaded backend exhibits at nodes > 1).  Recorded first:
+        # a worker respawned mid-broadcast receives it via replay, and
+        # future respawns need the full history to rebuild mirror state.
+        self._sent_reconfigs.append((manager, request))
+        self._broadcast(("reconfigure", manager, request))
+
+    def _broadcast(self, msg: tuple[Any, ...]) -> None:
+        """Send ``msg`` to every live worker, absorbing worker death.
+
+        A failed send means the worker is gone; it is handled like any
+        other failure (lease reclamation, retry, respawn).  A worker
+        respawned *during* the broadcast is deliberately skipped — it was
+        forked from current dispatcher state and replayed the reconfig
+        log, so it is already up to date.
+        """
+        for slot in sorted(self._live):
+            try:
+                self._conns[slot].send(msg)
+            except OSError:
+                self._worker_failed(slot, "send failed (broken pipe)")
 
     # -- event injection -----------------------------------------------------
 
@@ -558,6 +697,12 @@ class ProcessRuntime:
         this reproduces the threaded backend's single-thread FIFO order
         exactly (control jobs included), which is what makes
         reconfiguration timing deterministic at ``workers=1``.
+
+        Retried jobs prefer a worker incarnation that has not already
+        failed them (a deterministic kernel crash should not burn the
+        whole retry budget on one wedged worker); in a fault-free run the
+        exclusion map is empty and the pick stays ``min(idle)``, so
+        dispatch order — and with it bit-identical output — is unchanged.
         """
         while self._idle:
             job = self.queue.try_pop()
@@ -567,22 +712,63 @@ class ProcessRuntime:
             if node.kind != "task":
                 self._run_local(job, node)
                 continue
-            worker = min(self._idle)
+            worker = self._pick_worker(job)
             self._idle.discard(worker)
             inputs = self._gather_inputs(node, job.iteration)
             self._busy[worker] = job
-            self._conns[worker].send(("job", job.iteration, job.node_id, inputs))
+            if self.watchdog is not None:
+                self._deadlines[worker] = time.perf_counter() + self.watchdog
+            self._dispatched_tasks += 1
+            fault = None
+            if self.fault_injector is not None:
+                fault = self.fault_injector.directive(self._dispatched_tasks)
+            try:
+                self._conns[worker].send(
+                    ("job", job.iteration, job.node_id, inputs, fault)
+                )
+            except OSError:
+                # Worker died between going idle and this dispatch; the
+                # job is in _busy so the normal failure path retries it.
+                self._worker_failed(worker, "send failed (broken pipe)")
+
+    def _pick_worker(self, job: Job) -> int:
+        excluded = self._excluded.get((job.iteration, job.node_id))
+        if excluded:
+            eligible = [
+                w for w in self._idle if self._incarnation[w] not in excluded
+            ]
+            if eligible:
+                return min(eligible)
+        return min(self._idle)
 
     # -- worker message handling ---------------------------------------------
 
     def _on_message(self, worker: int, msg: tuple[Any, ...]) -> None:
         tag = msg[0]
         if tag == "done":
-            _, iteration, node_id, outputs, events, stop, start, end = msg
+            (_, iteration, node_id, outputs, events, stop, start, end,
+             state_updates) = msg
+            job = self._busy.pop(worker)
+            if job.iteration != iteration or job.node_id != node_id:
+                raise SchedulingError(
+                    f"worker {worker} completed {node_id}@{iteration}, "
+                    f"expected {job.node_id}@{job.iteration}"
+                )
+            # The job is acknowledged: planes the worker RPC-allocated
+            # for it now live in stream slots (released per iteration),
+            # so they leave the worker's lease list.
+            self._leases.pop(worker, None)
+            self._deadlines.pop(worker, None)
+            self._attempts.pop((iteration, node_id), None)
+            self._excluded.pop((iteration, node_id), None)
             for name, packed in outputs.items():
                 self.streams.stream(name).put(iteration, packed)
             for qname, event in events:
                 self.broker.post(qname, event)
+            for instance_id, delta in state_updates.items():
+                component = self.host.live.get(instance_id)
+                if component is not None:
+                    component.merge_state(delta)
             if stop:
                 self.scheduler.request_stop()
             if self.tracer.enabled:
@@ -596,21 +782,17 @@ class ProcessRuntime:
                         kind="task",
                     )
                 )
-            job = self._busy.pop(worker)
             self._idle.add(worker)
-            if job.iteration != iteration or job.node_id != node_id:
-                raise SchedulingError(
-                    f"worker {worker} completed {node_id}@{iteration}, "
-                    f"expected {job.node_id}@{job.iteration}"
-                )
             self._complete(job)
         elif tag == "rpc_alloc":
             _, shape, dtype = msg
             _, ref = self.pool.acquire(tuple(shape), dtype)
-            self._conns[worker].send(("rpc", ref))
+            self._leases.setdefault(worker, []).append(ref)
+            self._rpc_reply(worker, ref)
         elif tag == "rpc_alloc_raw":
             ref = self.pool.acquire_raw(msg[1])
-            self._conns[worker].send(("rpc", ref))
+            self._leases.setdefault(worker, []).append(ref)
+            self._rpc_reply(worker, ref)
         elif tag == "rpc_ensure":
             _, name, iteration, shape, dtype = msg
             stream = self.streams.stream(name)
@@ -620,56 +802,301 @@ class ProcessRuntime:
                     self.pool.acquire(tuple(shape), dtype)[1]
                 ),
             )
-            self._conns[worker].send(("rpc", packed.refs[0]))
+            # ensure planes are stream-owned, not worker-leased: the slot
+            # survives the worker and is released with its iteration.
+            ref = packed.refs[0]
+            if tuple(ref.shape) != tuple(shape) or np.dtype(
+                ref.dtype
+            ) != np.dtype(dtype):
+                raise StreamError(
+                    f"stream {name!r}: ensure_buffer geometry mismatch in "
+                    f"iteration {iteration}: worker {worker} requested "
+                    f"{tuple(shape)}/{np.dtype(dtype)}, slot already "
+                    f"allocated as {tuple(ref.shape)}/{np.dtype(ref.dtype)}"
+                )
+            self._rpc_reply(worker, ref)
         elif tag == "error":
-            _, exc, tb = msg
-            if isinstance(exc, BaseException):
-                raise exc
-            raise SchedulingError(f"worker {worker} failed:\n{tb}")
+            raise self._worker_error(worker, msg[1], msg[2])
         else:
             raise SchedulingError(
                 f"dispatcher got unexpected message {tag!r} from worker "
                 f"{worker}"
             )
 
-    # -- run -----------------------------------------------------------------
+    def _rpc_reply(self, worker: int, value: Any) -> None:
+        try:
+            self._conns[worker].send(("rpc", value))
+        except OSError:
+            self._worker_failed(worker, "send failed (broken pipe)")
+
+    @staticmethod
+    def _worker_error(
+        worker: int, exc: BaseException | None, tb: str
+    ) -> BaseException:
+        """Build the exception for a worker ``("error", exc, tb)`` report.
+
+        The remote traceback travels as a string (the real frames died
+        with the worker); it is attached as the ``__cause__`` — a
+        :class:`~repro.errors.WorkerFailure` carrying the text — and,
+        where the interpreter supports it, as an exception note, so the
+        cross-process failure is debuggable from the dispatcher side
+        while the original exception type still reaches the caller.
+        """
+        cause = WorkerFailure(
+            f"worker {worker} failed", worker=worker, remote_traceback=tb
+        )
+        if isinstance(exc, BaseException):
+            if hasattr(exc, "add_note"):  # Python 3.11+
+                exc.add_note(f"remote traceback (worker {worker}):\n{tb}")
+            exc.__cause__ = cause
+            return exc
+        return cause
+
+    # -- worker lifecycle ----------------------------------------------------
 
     def _spawn_workers(self) -> None:
         try:
-            ctx = multiprocessing.get_context("fork")
+            self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             raise SchedulingError(
                 "ProcessRuntime needs a fork-capable platform; use "
                 "ThreadedRuntime instead"
             ) from None
-        for worker_id in range(self.workers):
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_entry,
-                args=(child, self.program, self.registry,
-                      dict(self.pg.option_states), self.group_chains,
-                      worker_id),
-                name=f"hinch-proc-worker-{worker_id}",
-                daemon=True,
+        self._conns = [None] * self.workers  # type: ignore[list-item]
+        self._procs = [None] * self.workers
+        self._incarnation = [-1] * self.workers
+        for slot in range(self.workers):
+            self._spawn_one(slot)
+
+    def _spawn_one(self, slot: int) -> None:
+        """(Re)start the worker in ``slot``.
+
+        A respawned worker forks from *current* dispatcher state, so the
+        present option states are baked into its graph; parameter
+        reconfigurations broadcast earlier are replayed from the log
+        because worker mirrors are built fresh from instance descriptors.
+        Fork children exit via ``os._exit`` (multiprocessing bootstrap),
+        so the dispatcher pool copy they inherit never runs finalizers —
+        a respawn cannot unlink live shared segments.
+        """
+        parent, child = self._ctx.Pipe()
+        incarnation = self._next_incarnation
+        self._next_incarnation += 1
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(child, self.program, self.registry,
+                  dict(self.pg.option_states), self.group_chains, slot),
+            name=f"hinch-proc-worker-{slot}.{incarnation}",
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._conns[slot] = parent
+        self._procs[slot] = proc
+        self._incarnation[slot] = incarnation
+        self._live.add(slot)
+        self._idle.add(slot)
+        for manager, request in self._sent_reconfigs:
+            parent.send(("reconfigure", manager, request))
+
+    def _record_fault(
+        self,
+        kind: str,
+        slot: int,
+        incarnation: int,
+        job: Job | None,
+        detail: str,
+    ) -> None:
+        self.fault_events.append(
+            {
+                "kind": kind,
+                "worker": slot,
+                "incarnation": incarnation,
+                "job": (job.iteration, job.node_id) if job else None,
+                "detail": detail,
+            }
+        )
+        if self.tracer.enabled:
+            now = time.perf_counter()
+            self.tracer.record(
+                TraceEvent(
+                    node_id=job.node_id if job else "",
+                    iteration=job.iteration if job else -1,
+                    worker=slot,
+                    start=now,
+                    end=now,
+                    kind=kind,
+                )
             )
-            proc.start()
-            child.close()
-            self._conns.append(parent)
-            self._procs.append(proc)
-        self._idle = set(range(self.workers))
+
+    def _worker_failed(
+        self, slot: int, reason: str, *, watchdog: bool = False
+    ) -> None:
+        """Handle the loss of one worker: reclaim, retry, respawn/degrade.
+
+        Idempotent per incarnation — EOF, sentinel and watchdog detection
+        can all observe the same death.  Raises
+        :class:`~repro.errors.WorkerFailure` when the in-flight job's
+        retry budget is exhausted or no worker remains.
+        """
+        if slot not in self._live:
+            return
+        self._live.discard(slot)
+        self._idle.discard(slot)
+        incarnation = self._incarnation[slot]
+        job = self._busy.pop(slot, None)
+        self._deadlines.pop(slot, None)
+        # Planes leased mid-job die with the worker: back to the free
+        # lists (their content is garbage, but so is any recycled plane
+        # before its next write).
+        for ref in self._leases.pop(slot, ()):
+            self.pool.release(ref)
+        try:
+            self._conns[slot].close()
+        except Exception:
+            pass
+        proc = self._procs[slot]
+        if proc is not None and proc.is_alive():
+            proc.kill()  # SIGKILL: a wedged kernel may ignore SIGTERM
+            proc.join(timeout=5)
+        self._record_fault(
+            "watchdog_kill" if watchdog else "worker_failure",
+            slot, incarnation, job, reason,
+        )
+        if job is not None:
+            key = (job.iteration, job.node_id)
+            attempts = self._attempts.get(key, 0) + 1
+            self._attempts[key] = attempts
+            self._excluded.setdefault(key, set()).add(incarnation)
+            if attempts > self.max_retries:
+                raise WorkerFailure(
+                    f"job {job.node_id}@{job.iteration} lost its worker "
+                    f"{attempts} time(s) (last: worker {slot}, {reason}); "
+                    f"retry budget max_retries={self.max_retries} exhausted",
+                    worker=slot,
+                    job=key,
+                )
+            self.scheduler.requeue(job)
+            self.queue.push_front(job)
+            self._record_fault("retry", slot, incarnation, job,
+                               f"attempt {attempts + 1}")
+        if self.respawn:
+            self._spawn_one(slot)
+            self._respawns += 1
+            self._record_fault("respawn", slot, self._incarnation[slot],
+                               None, f"replacing incarnation {incarnation}")
+        elif not self._live:
+            raise WorkerFailure(
+                f"worker {slot} failed ({reason}) and no worker remains "
+                "(respawn disabled)",
+                worker=slot,
+                job=(job.iteration, job.node_id) if job else None,
+            )
+        else:
+            self._record_fault("degrade", slot, incarnation, None,
+                               f"{len(self._live)} worker(s) remain")
+
+    # -- main loop helpers ---------------------------------------------------
+
+    def _wait_timeout(self) -> float:
+        deadline = min(self._deadlines.values(), default=None)
+        if deadline is None:
+            return self._HEARTBEAT
+        return max(0.0, min(self._HEARTBEAT,
+                            deadline - time.perf_counter()))
+
+    def _service_conn(self, slot: int) -> None:
+        """Drain every buffered message from one worker's pipe.
+
+        EOF/pipe errors route to the failure path; messages from a slot
+        that stopped being live mid-drain are never processed.
+        """
+        conn = self._conns[slot]
+        incarnation = self._incarnation[slot]
+        try:
+            while (
+                slot in self._live
+                and self._incarnation[slot] == incarnation
+                and conn.poll()
+            ):
+                self._on_message(slot, conn.recv())
+        except (EOFError, OSError):
+            # Only condemn the incarnation this pipe belongs to — the
+            # slot may already hold its respawned (innocent) successor.
+            if slot in self._live and self._incarnation[slot] == incarnation:
+                self._worker_failed(slot, "worker exited unexpectedly (EOF)")
+
+    def _service_ready(self, ready: list[Any]) -> None:
+        conn_slots = {id(self._conns[s]): s for s in self._live}
+        sentinel_slots = {
+            self._procs[s].sentinel: s
+            for s in self._live
+            if self._procs[s] is not None
+        }
+        for obj in ready:
+            slot = conn_slots.get(id(obj))
+            if slot is not None:
+                self._service_conn(slot)
+                continue
+            slot = sentinel_slots.get(obj)
+            if slot is not None and slot in self._live:
+                # Process exited: drain any last buffered messages (a
+                # completed job racing the death must win), then declare
+                # the failure if the slot is still live.
+                self._service_conn(slot)
+                if slot in self._live and not self._procs[slot].is_alive():
+                    self._worker_failed(slot, "process died")
+
+    def _check_liveness(self) -> None:
+        for slot in sorted(self._live):
+            proc = self._procs[slot]
+            if proc is not None and not proc.is_alive():
+                self._service_conn(slot)
+                if slot in self._live:
+                    self._worker_failed(slot, "process died")
+
+    def _check_watchdog(self) -> None:
+        if self.watchdog is None:
+            return
+        now = time.perf_counter()
+        for slot in [s for s, dl in list(self._deadlines.items())
+                     if dl <= now]:
+            if slot not in self._live:
+                self._deadlines.pop(slot, None)
+                continue
+            # The job may have completed while we slept — drain first,
+            # and only kill if the same deadline is still in force.
+            self._service_conn(slot)
+            if slot not in self._live or slot not in self._busy:
+                continue
+            deadline = self._deadlines.get(slot)
+            if deadline is None or deadline > now:
+                continue
+            job = self._busy[slot]
+            self._worker_failed(
+                slot,
+                f"watchdog: {job.node_id}@{job.iteration} exceeded "
+                f"{self.watchdog:.3g}s",
+                watchdog=True,
+            )
+
+    # -- shutdown ------------------------------------------------------------
 
     def _shutdown(self, *, graceful: bool) -> None:
+        deferred: BaseException | None = None
         if graceful:
-            for conn in self._conns:
+            for slot in sorted(self._live):
                 try:
-                    conn.send(("stop",))
+                    self._conns[slot].send(("stop",))
                 except Exception:
                     pass
-            for worker, conn in enumerate(self._conns):
+            for slot in sorted(self._live):
+                conn = self._conns[slot]
                 try:
                     while True:
                         msg = conn.recv()
-                        if msg[0] == "bye":
+                        tag = msg[0]
+                        if tag == "bye":
                             _, snapshots, stats = msg
                             for instance_id, state in snapshots.items():
                                 component = self.host.live.get(instance_id)
@@ -678,21 +1105,40 @@ class ProcessRuntime:
                             for key in _WORKER_STAT_KEYS:
                                 self._worker_pool_stats[key] += stats[key]
                             break
+                        if tag == "error":
+                            # A worker failing *during* stop (e.g. in
+                            # snapshot_state) must surface, not vanish
+                            # into the drain; finish cleanup, then raise.
+                            error = self._worker_error(slot, msg[1], msg[2])
+                            if deferred is None:
+                                deferred = error
+                            break
+                        # Anything else is a stale in-flight message (an
+                        # rpc whose reply the worker no longer needs);
+                        # drained without effect.
                 except (EOFError, OSError):
                     pass
-        for conn in self._conns:
+        for slot in range(len(self._conns)):
             try:
-                conn.close()
+                self._conns[slot].close()
             except Exception:
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5)
-        self._conns.clear()
-        self._procs.clear()
+        self._conns = []
+        self._procs = []
+        self._live.clear()
+        self._idle.clear()
         self.pool.close()
+        if deferred is not None:
+            raise deferred
+
+    # -- run -----------------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute to completion; returns statistics and live components."""
@@ -706,24 +1152,22 @@ class ProcessRuntime:
                 self.queue.drain()
             self._pump()
             while self._busy or not self.scheduler.done:
-                ready = wait(self._conns, timeout=60.0)
-                if not ready:
-                    dead = [i for i, p in enumerate(self._procs)
-                            if not p.is_alive()]
-                    if dead:
-                        raise SchedulingError(
-                            f"worker(s) {dead} died without reporting"
-                        )
-                    continue
-                for conn in ready:
-                    worker = self._conns.index(conn)
-                    try:
-                        while conn.poll():
-                            self._on_message(worker, conn.recv())
-                    except EOFError:
-                        raise SchedulingError(
-                            f"worker {worker} exited unexpectedly"
-                        ) from None
+                objects: list[Any] = [self._conns[s] for s in sorted(self._live)]
+                objects.extend(
+                    self._procs[s].sentinel
+                    for s in sorted(self._live)
+                    if self._procs[s] is not None
+                )
+                if not objects:
+                    raise SchedulingError(
+                        "no live workers but work remains — degraded to zero"
+                    )  # pragma: no cover - _worker_failed raises first
+                ready = wait(objects, timeout=self._wait_timeout())
+                if ready:
+                    self._service_ready(list(ready))
+                else:
+                    self._check_liveness()
+                self._check_watchdog()
                 self._pump()
         except BaseException:
             failed = True
@@ -747,4 +1191,5 @@ class ProcessRuntime:
             events_handled=sum(m.events_handled for m in self.managers.values()),
             events_ignored=sum(m.events_ignored for m in self.managers.values()),
             pool_stats=pool_stats,
+            fault_events=list(self.fault_events),
         )

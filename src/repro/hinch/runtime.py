@@ -46,6 +46,10 @@ class RunResult:
     #: :class:`repro.hinch.shm.PoolStats`); summed across processes on
     #: the process backend
     pool_stats: dict[str, int] = field(default_factory=dict)
+    #: worker failures, retries and respawns observed by the process
+    #: backend (empty elsewhere); each entry is a dict with at least
+    #: ``kind``/``worker``/``detail`` keys — see docs/fault-tolerance.md
+    fault_events: list[dict[str, Any]] = field(default_factory=list)
 
 
 class ComponentHost:

@@ -106,6 +106,7 @@ class DataflowScheduler:
         self._pending_plans: list[ReconfigPlan] = []
         self._completed_iterations = 0
         self._reconfig_count = 0
+        self._retries = 0
         self._started = False
 
     # -- public state ------------------------------------------------------------
@@ -130,6 +131,11 @@ class DataflowScheduler:
     @property
     def reconfig_count(self) -> int:
         return self._reconfig_count
+
+    @property
+    def retries(self) -> int:
+        """Jobs returned to the ready set after their worker was lost."""
+        return self._retries
 
     _halted_forever = False  # set by request_stop
 
@@ -205,6 +211,31 @@ class DataflowScheduler:
             self.hooks.on_iteration_complete(job.iteration)
             ready.extend(self._after_iteration())
         return ready
+
+    def requeue(self, job: Job) -> None:
+        """Validate that a lost job may be re-issued (worker failure).
+
+        The job must be *dispatched but not done* — retrying a completed
+        job would double-complete it, and retrying a never-dispatched one
+        means the runtime's in-flight bookkeeping diverged from the
+        scheduler's.  The job stays in the ``dispatched`` set (the caller
+        pushes it back onto the queue), so the eventual completion flows
+        through :meth:`complete` unchanged.
+        """
+        state = self._iters.get(job.iteration)
+        if state is None:
+            raise SchedulingError(
+                f"requeue for unknown iteration {job.iteration} ({job.node_id})"
+            )
+        if job.node_id not in state.dispatched:
+            raise SchedulingError(
+                f"requeue for undispatched job {job.node_id}@{job.iteration}"
+            )
+        if job.node_id in state.done:
+            raise SchedulingError(
+                f"requeue for completed job {job.node_id}@{job.iteration}"
+            )
+        self._retries += 1
 
     def request_reconfig(self, plan: ReconfigPlan) -> None:
         """Queue a reconfiguration; admission halts until it is applied."""

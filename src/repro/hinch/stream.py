@@ -85,6 +85,12 @@ class Stream:
         which lets a pool-backed store recycle planes across iterations;
         ``factory`` is the fallback for arbitrary buffers (always a fresh
         allocation).
+
+        Every call after the first is validated against the existing
+        allocation: slice copies disagreeing on geometry would otherwise
+        silently share a wrong-size buffer and corrupt frames far from
+        the faulty writer, so a mismatch raises :class:`StreamError`
+        here instead.
         """
         with self._lock:
             if iteration in self._finalized:
@@ -93,6 +99,19 @@ class Stream:
                     f"put() in iteration {iteration}"
                 )
             buffer = self._slots.get(iteration)
+            if buffer is not None and shape is not None and isinstance(
+                buffer, np.ndarray
+            ):
+                want_dtype = np.dtype(dtype) if dtype is not None else None
+                if tuple(shape) != buffer.shape or (
+                    want_dtype is not None and want_dtype != buffer.dtype
+                ):
+                    raise StreamError(
+                        f"stream {self.name!r}: ensure_buffer geometry "
+                        f"mismatch in iteration {iteration}: requested "
+                        f"{tuple(shape)}/{want_dtype}, slot already "
+                        f"allocated as {buffer.shape}/{buffer.dtype}"
+                    )
             if buffer is None:
                 if shape is not None:
                     if self.pool is not None:

@@ -90,6 +90,13 @@ class Tracer:
             totals[e.worker] = totals.get(e.worker, 0.0) + e.duration
         return dict(sorted(totals.items()))
 
+    def kind_counts(self) -> dict[str, int]:
+        """Events per ``kind`` — e.g. how many retries/respawns a run saw."""
+        counts: dict[str, int] = {}
+        for e in self.events:
+            counts[e.kind] = counts.get(e.kind, 0) + 1
+        return counts
+
     def per_node_totals(self) -> dict[str, float]:
         totals: dict[str, float] = {}
         for e in self.events:

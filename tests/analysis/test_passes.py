@@ -37,6 +37,22 @@ TOGGLE_PAIR = wrap(
 
 TOGGLE_PAIR_NO_TIMER = TOGGLE_PAIR.replace(timer(), "")
 
+#: Two managers whose forward handlers bounce event "e" between their
+#: queues forever (X405).
+FORWARD_CYCLE = wrap(
+    source("src", "raw")
+    + '<manager name="m1" queue="q1">\n'
+    + '<on event="e" action="forward" target="q2"/>\n'
+    + "<body>\n" + blur("b1", "raw", "mid") + "</body>\n"
+    + "</manager>\n"
+    + '<manager name="m2" queue="q2">\n'
+    + '<on event="e" action="forward" target="q1"/>\n'
+    + "<body>\n" + blur("b2", "mid", "out") + "</body>\n"
+    + "</manager>\n"
+    + sink("snk", "out")
+    + timer("q1")
+)
+
 
 def bypassed_option(bypasses: str) -> str:
     return wrap(
@@ -236,6 +252,14 @@ CASES = {
         sliced_pipeline(2),
     ),
     "X403": (CLEAN, CLEAN),  # distinguished by the classes registry below
+    "X405": (
+        FORWARD_CYCLE,
+        # same topology, but the return edge carries a different event:
+        # (q1, e) -> (q2, e) and (q2, f) -> (q1, f) do not form a cycle.
+        FORWARD_CYCLE.replace(
+            '<on event="e" action="forward" target="q1"/>',
+            '<on event="f" action="forward" target="q1"/>'),
+    ),
 }
 
 # X206 trigger: same toggle pair but no handler ever touches o5.

@@ -8,7 +8,14 @@ import numpy as np
 import pytest
 
 from repro.errors import EventError, StreamError
-from repro.hinch import Event, EventBroker, EventQueue, Stream, StreamStore
+from repro.hinch import (
+    Event,
+    EventBroker,
+    EventQueue,
+    EventStormWarning,
+    Stream,
+    StreamStore,
+)
 
 
 # -- streams ------------------------------------------------------------------
@@ -85,6 +92,27 @@ def test_ensure_buffer_after_put_raises():
     s.put(0, "whole")
     with pytest.raises(StreamError, match="sliced write after"):
         s.ensure_buffer(0, lambda: [])
+
+
+def test_ensure_buffer_geometry_mismatch_raises():
+    """Satellite regression: a second sliced writer requesting a
+    different shape/dtype used to silently share the first allocation
+    and write out of bounds; it must raise."""
+    s = Stream("x")
+    s.ensure_buffer(0, shape=(4, 8), dtype=np.uint8)
+    with pytest.raises(StreamError, match="geometry mismatch"):
+        s.ensure_buffer(0, shape=(4, 6), dtype=np.uint8)
+    with pytest.raises(StreamError, match="geometry mismatch"):
+        s.ensure_buffer(0, shape=(4, 8), dtype=np.float64)
+
+
+def test_ensure_buffer_matching_geometry_shares():
+    s = Stream("x")
+    b1 = s.ensure_buffer(0, shape=(4, 8), dtype=np.uint8)
+    b2 = s.ensure_buffer(0, shape=(4, 8), dtype=np.uint8)
+    assert b1 is b2
+    # dtype omitted: shape alone is validated
+    assert s.ensure_buffer(0, shape=(4, 8)) is b1
 
 
 def test_slots_independent_per_iteration():
@@ -184,3 +212,54 @@ def test_concurrent_posts_are_all_delivered():
         t.join()
     assert broker.queue("q").total_posted == n
     assert len(broker.queue("q").poll()) == n
+
+
+# -- high-water warning (satellite: event storms must be loud) ---------------
+
+
+def test_high_water_warns_once_per_doubling():
+    q = EventQueue("ui", high_water=4)
+    with pytest.warns(EventStormWarning, match="high-water 4"):
+        for i in range(6):
+            q.post(Event(f"e{i}"))
+    # threshold doubled: growing to 7 stays quiet, crossing 8 warns again
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EventStormWarning)
+        q.post(Event("e6"))
+    with pytest.warns(EventStormWarning):
+        q.post(Event("e7"))
+
+
+def test_high_water_rearms_after_poll():
+    q = EventQueue("ui", high_water=4)
+    with pytest.warns(EventStormWarning):
+        for i in range(5):
+            q.post(Event(f"e{i}"))
+    q.poll()
+    with pytest.warns(EventStormWarning):
+        for i in range(5):
+            q.post(Event(f"e{i}"))
+
+
+def test_high_water_disabled_with_none():
+    import warnings
+
+    q = EventQueue("ui", high_water=None)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", EventStormWarning)
+        for i in range(64):
+            q.post(Event(f"e{i}"))
+
+
+def test_high_water_must_be_positive():
+    with pytest.raises(EventError):
+        EventQueue("ui", high_water=0)
+
+
+def test_broker_passes_high_water_to_queues():
+    broker = EventBroker(high_water=2)
+    with pytest.warns(EventStormWarning, match="high-water 2"):
+        broker.post("q", Event("a"))
+        broker.post("q", Event("b"))
