@@ -79,6 +79,8 @@ class RuntimeProfile:
     probe_stages: int
     #: per-job blocking time of the probe kernel, milliseconds
     probe_sleep_ms: float
+    #: lease size for process-backend cells (1 = job-at-a-time dispatch)
+    batch: int = 1
 
 
 PROFILES: dict[str, RuntimeProfile] = {
@@ -89,13 +91,13 @@ PROFILES: dict[str, RuntimeProfile] = {
     "quick": RuntimeProfile(
         "quick", frames=8, repeats=3, width=160, height=128, slices=4,
         workers=(1, 2, 4), pipeline_depth=4, probe_stages=4,
-        probe_sleep_ms=15.0,
+        probe_sleep_ms=15.0, batch=4,
     ),
     # Paper-scale frames for tracking real numbers on a quiet machine.
     "full": RuntimeProfile(
         "full", frames=24, repeats=3, width=720, height=576, slices=8,
         workers=(1, 2, 4), pipeline_depth=5, probe_stages=4,
-        probe_sleep_ms=25.0,
+        probe_sleep_ms=25.0, batch=4,
     ),
 }
 
@@ -218,6 +220,7 @@ def _run_once(
     profile: RuntimeProfile,
     *,
     trace: bool = False,
+    batch: int | None = None,
 ) -> Any:
     if backend == "threaded":
         from repro.hinch import ThreadedRuntime
@@ -234,6 +237,7 @@ def _run_once(
             program, registry, workers=n,
             pipeline_depth=profile.pipeline_depth,
             max_iterations=profile.frames, trace=trace,
+            batch=profile.batch if batch is None else batch,
         )
     else:
         raise ReproError(f"unknown backend {backend!r}")
@@ -244,14 +248,13 @@ def _measure_cell(
     program: Any, registry: Any, backend: str, n: int,
     profile: RuntimeProfile,
 ) -> dict[str, Any]:
-    """Median-of-``repeats`` wall time for one (backend, width) cell.
+    """Median-of-``repeats`` wall time for one standalone cell.
 
-    Timings come from ``RunResult.elapsed_seconds``, which includes
-    worker spawn on the process backend — startup is part of what a user
-    pays, so it is not hidden.
+    Used for isolated measurements (tests, ad-hoc probes); the full
+    suite goes through :func:`_measure_app`, which interleaves repeats
+    across cells to cancel host drift.
     """
     times: list[float] = []
-    completed = 0
     for _ in range(max(1, profile.repeats)):
         result = _run_once(program, registry, backend, n, profile)
         if result.completed_iterations != profile.frames:
@@ -259,27 +262,63 @@ def _measure_cell(
                 f"{backend} x{n}: completed {result.completed_iterations} "
                 f"of {profile.frames} iterations"
             )
-        completed = result.completed_iterations
         times.append(result.elapsed_seconds)
     median = statistics.median(times)
     return {
         "workers": n,
-        "frames": completed,
+        "frames": profile.frames,
         "seconds": min(times),
         "median_seconds": median,
-        "frames_per_sec": completed / median,
+        "frames_per_sec": profile.frames / median,
     }
 
 
 def _measure_app(
     program: Any, registry: Any, profile: RuntimeProfile,
 ) -> dict[str, Any]:
+    """Median-of-``repeats`` wall time per (backend, workers) cell.
+
+    Timings come from ``RunResult.elapsed_seconds``, which includes
+    worker spawn on the process backend — startup is part of what a user
+    pays, so it is not hidden.
+
+    Repeats are interleaved round-robin across every cell rather than
+    run cell-by-cell: host drift over the suite (frequency scaling,
+    cache and page warmth, background load) then lands on all
+    configurations equally instead of flattering whichever cell happened
+    to run first — on a loaded single-core host that ordering bias
+    easily exceeds the n1-vs-n4 difference being measured.
+    """
+    configs = [
+        (backend, n)
+        for backend in ("threaded", "process")
+        for n in profile.workers
+    ]
+    samples: dict[tuple[str, int], list[float]] = {c: [] for c in configs}
+    for _ in range(max(1, profile.repeats)):
+        for backend, n in configs:
+            result = _run_once(program, registry, backend, n, profile)
+            if result.completed_iterations != profile.frames:
+                raise ReproError(
+                    f"{backend} x{n}: completed "
+                    f"{result.completed_iterations} of {profile.frames} "
+                    "iterations"
+                )
+            samples[(backend, n)].append(result.elapsed_seconds)
     out: dict[str, Any] = {}
     for backend in ("threaded", "process"):
         cells: dict[str, Any] = {}
         base_fps: float | None = None
         for n in profile.workers:
-            cell = _measure_cell(program, registry, backend, n, profile)
+            times = samples[(backend, n)]
+            median = statistics.median(times)
+            cell = {
+                "workers": n,
+                "frames": profile.frames,
+                "seconds": min(times),
+                "median_seconds": median,
+                "frames_per_sec": profile.frames / median,
+            }
             if n == min(profile.workers):
                 base_fps = cell["frames_per_sec"]
             cell["speedup"] = (
@@ -292,6 +331,7 @@ def _measure_app(
     widest = max(profile.workers)
     result = _run_once(program, registry, "process", widest, profile,
                        trace=True)
+    pool = result.pool_stats
     out["occupancy"] = {
         "workers": widest,
         "per_worker_busy": {
@@ -299,7 +339,56 @@ def _measure_app(
             for w, busy in result.trace.per_worker_busy().items()
         },
         "utilization": round(result.trace.utilization(widest), 4),
+        # Dispatch-path cost counters: bytes pickled for control
+        # metadata and how many values crossed the pipes as pickles
+        # rather than shared planes.  Batching exists to shrink these.
+        "meta_pickled_bytes": pool.get("meta_pickled_bytes", 0),
+        "pickle_packs": pool.get("pickle_packs", 0),
     }
+    return out
+
+
+def _measure_dispatch_overhead(profile: RuntimeProfile) -> dict[str, Any]:
+    """Pure dispatcher throughput: empty-kernel jobs/sec, batched vs not.
+
+    The sleep probe at 0 ms blocks for nothing and computes nothing, so
+    wall time is dispatch machinery only — pickling, pipe wakeups,
+    readiness bookkeeping.  Comparing ``batch=1`` against the profile's
+    batch isolates what lease batching buys independent of core count.
+    Informational: not flattened by :func:`_wall_metrics`, so it never
+    trips the regression gate.
+    """
+    registry = probe_registry()
+    spec = build_sleep_probe(stages=profile.probe_stages, sleep_ms=0.0)
+    program = expand(spec, default_ports(registry), name="dispatch-probe")
+    n = max(profile.workers)
+    out: dict[str, Any] = {"workers": n}
+    for label, batch in (("unbatched", 1), ("batched", profile.batch)):
+        times: list[float] = []
+        jobs = 0
+        for _ in range(max(1, profile.repeats)):
+            result = _run_once(program, registry, "process", n, profile,
+                               batch=batch)
+            if result.completed_iterations != profile.frames:
+                raise ReproError(
+                    f"dispatch_overhead/{label}: completed "
+                    f"{result.completed_iterations} of {profile.frames}"
+                )
+            # task jobs per iteration: source + sliced copies + sink
+            jobs = profile.frames * (profile.probe_stages + 2)
+            times.append(result.elapsed_seconds)
+        median = statistics.median(times)
+        out[label] = {
+            "batch": batch,
+            "jobs": jobs,
+            "median_seconds": round(median, 6),
+            "jobs_per_sec": round(jobs / median, 2),
+        }
+    unbatched = out["unbatched"]["jobs_per_sec"]
+    if unbatched:
+        out["batched_speedup"] = round(
+            out["batched"]["jobs_per_sec"] / unbatched, 4
+        )
     return out
 
 
@@ -373,6 +462,7 @@ def collect(
         #: speedup ceilings are physical: CPU-bound kernels cannot beat
         #: this number no matter how well the runtime scales
         "cpu_count": os.cpu_count(),
+        "batch": profile.batch,
         "apps": {},
     }
     for name, program in _app_programs(profile).items():
@@ -381,6 +471,7 @@ def collect(
         probe_program(profile), probe_registry(), profile
     )
     payload["faults"] = _measure_faults(profile)
+    payload["dispatch_overhead"] = _measure_dispatch_overhead(profile)
     return payload
 
 
@@ -487,5 +578,21 @@ def render_report(payload: dict, baseline: dict | None = None) -> str:
             lines.append(
                 f"  {scenario:<6} {cell['seconds']:8.3f}s  "
                 f"retries={cell['retries']}  {detail}"
+            )
+    overhead = payload.get("dispatch_overhead")
+    if overhead:
+        lines.append(f"dispatch overhead (empty kernels, x{overhead['workers']}):")
+        for label in ("unbatched", "batched"):
+            cell = overhead.get(label)
+            if not cell:
+                continue
+            lines.append(
+                f"  {label:<9} batch={cell['batch']}"
+                f" {cell['median_seconds']:8.3f}s"
+                f" {cell['jobs_per_sec']:9.1f} jobs/s"
+            )
+        if "batched_speedup" in overhead:
+            lines.append(
+                f"  batching speedup: {overhead['batched_speedup']:.2f}x"
             )
     return "\n".join(lines)

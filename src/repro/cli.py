@@ -147,6 +147,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             workers=workers,
             pipeline_depth=args.pipeline_depth,
             max_iterations=args.iterations,
+            batch=args.batch,
             watchdog=args.watchdog,
             max_retries=args.max_retries,
             respawn=not args.no_respawn,
@@ -413,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: --nodes)")
     p.add_argument("--iterations", type=int, default=16)
     p.add_argument("--pipeline-depth", type=int, default=5)
+    p.add_argument("--batch", type=int, default=1,
+                   help="process backend: max jobs per worker lease; >1 "
+                        "amortizes dispatch (pickling, pipe wakeups, "
+                        "alloc RPCs) and enables worker-resident stream "
+                        "tokens and slice affinity (default: 1)")
     p.add_argument("--execute", action="store_true",
                    help="sim backend: also run components functionally")
     p.add_argument("--inject-fault", default=None, metavar="SPEC",

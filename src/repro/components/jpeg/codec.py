@@ -23,7 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.components.jpeg.dct import dct2_blocks, idct2_blocks
-from repro.components.jpeg.huffman import BitReader, BitWriter, HuffmanCodec
+from repro.components.jpeg.huffman import (
+    LOOKUP_BITS,
+    BitReader,
+    BitWriter,
+    HuffmanCodec,
+    pack_fields,
+)
 from repro.components.jpeg.quant import (
     CHROMA_QTABLE,
     LUMA_QTABLE,
@@ -210,8 +216,146 @@ def _deblockify(blocks: np.ndarray, width: int, height: int) -> np.ndarray:
     )
 
 
+def _vec_magnitude(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_magnitude`: values -> (sizes, amplitude bits)."""
+    values = values.astype(np.int64)
+    mag = np.abs(values)
+    sizes = np.zeros(values.shape, dtype=np.int64)
+    probe = mag.copy()
+    while probe.any():
+        sizes += probe > 0
+        probe >>= 1
+    bits = np.where(values >= 0, values, values + (1 << sizes) - 1)
+    return sizes, bits
+
+
+def _record_stream(zz: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Vectorized symbol-stream construction from zigzagged blocks.
+
+    Returns ``(symbols, amp_bits, amp_sizes, is_dc)`` arrays in exact
+    bitstream order — the same record sequence the per-block Python loop
+    produced: per block a DC size/amplitude record, then for each nonzero
+    AC coefficient its ZRL prefixes and ``(run<<4)|size`` record, then an
+    EOB unless the block's last nonzero sits at position 63.
+    """
+    n = zz.shape[0]
+    dc_sizes, dc_bits = _vec_magnitude(np.diff(zz[:, 0].astype(np.int64), prepend=0))
+
+    rows, cols = np.nonzero(zz[:, 1:])
+    cols = cols.astype(np.int64) + 1
+    rows = rows.astype(np.int64)
+    first = np.ones(rows.shape, dtype=bool)
+    first[1:] = rows[1:] != rows[:-1]
+    prev = np.where(first, 0, np.roll(cols, 1))
+    run = cols - prev - 1
+    zrl = run >> 4
+    rem = run & 15
+    ac_sizes, ac_bits = _vec_magnitude(zz[rows, cols])
+    ac_syms = (rem << 4) | ac_sizes
+
+    eob_blocks = np.setdiff1d(
+        np.arange(n, dtype=np.int64), rows[cols == 63], assume_unique=False
+    )
+
+    n_zrl = int(zrl.sum())
+    zrl_rows = np.repeat(rows, zrl)
+    zrl_cols = np.repeat(cols, zrl)
+    if n_zrl:
+        starts = np.cumsum(zrl) - zrl
+        zrl_sub = np.arange(n_zrl, dtype=np.int64) - np.repeat(starts, zrl)
+    else:
+        zrl_sub = np.zeros(0, dtype=np.int64)
+
+    # Stream order via a unique integer sort key (block, position, sub):
+    # DC at position 0, ZRLs just before their AC record, EOB at 64.
+    def key(blocks: np.ndarray, pos: np.ndarray, sub: np.ndarray) -> np.ndarray:
+        return (blocks * 65 + pos) * 17 + sub
+
+    keys = np.concatenate([
+        key(np.arange(n, dtype=np.int64), 0, 0),
+        key(zrl_rows, zrl_cols, zrl_sub),
+        key(rows, cols, zrl),
+        key(eob_blocks, 64, 0),
+    ])
+    symbols = np.concatenate([
+        dc_sizes,
+        np.full(n_zrl, _ZRL, dtype=np.int64),
+        ac_syms,
+        np.full(eob_blocks.size, _EOB, dtype=np.int64),
+    ])
+    amp_bits = np.concatenate([
+        dc_bits,
+        np.zeros(n_zrl, dtype=np.int64),
+        ac_bits,
+        np.zeros(eob_blocks.size, dtype=np.int64),
+    ])
+    amp_sizes = np.concatenate([
+        dc_sizes,
+        np.zeros(n_zrl, dtype=np.int64),
+        ac_sizes,
+        np.zeros(eob_blocks.size, dtype=np.int64),
+    ])
+    is_dc = np.zeros(keys.shape, dtype=bool)
+    is_dc[:n] = True
+    order = np.argsort(keys)
+    return symbols[order], amp_bits[order], amp_sizes[order], is_dc[order]
+
+
+def _freq_dict(symbols: np.ndarray) -> dict[int, int]:
+    counts = np.bincount(symbols, minlength=1)
+    return {int(s): int(c) for s, c in enumerate(counts) if c}
+
+
 def encode_plane(plane: np.ndarray, qtable: np.ndarray) -> EncodedPlane:
-    """Full encode of one plane."""
+    """Full encode of one plane (vectorized entropy coding).
+
+    Bit-identical to the per-symbol reference implementation
+    (:func:`_encode_plane_scalar`, kept for tests/fallback): the record
+    stream, code tables, and packed payload are byte-for-byte equal.
+    """
+    height, width = plane.shape
+    blocks = _blockify(plane) - 128.0
+    zz = zigzag_blocks(quantize(dct2_blocks(blocks), qtable))  # (n, 64) int32
+
+    symbols, amp_bits, amp_sizes, is_dc = _record_stream(zz)
+    dc_codec = HuffmanCodec.from_frequencies(_freq_dict(symbols[is_dc]))
+    ac_codec = HuffmanCodec.from_frequencies(_freq_dict(symbols[~is_dc]))
+
+    if max(dc_codec.max_length, ac_codec.max_length) > 62:
+        # Codes this deep cannot ride int64 bit packing; take the
+        # bit-at-a-time writer (pathological frequency skew only).
+        writer = BitWriter()
+        for i in range(symbols.size):
+            codec = dc_codec if is_dc[i] else ac_codec
+            codec.encode_symbol(writer, int(symbols[i]))
+            if amp_sizes[i]:
+                writer.write(int(amp_bits[i]), int(amp_sizes[i]))
+        payload = writer.getvalue()
+    else:
+        dc_codes, dc_lens = dc_codec.code_arrays()
+        ac_codes, ac_lens = ac_codec.code_arrays()
+        code_vals = np.where(is_dc, dc_codes[symbols], ac_codes[symbols])
+        code_lens = np.where(is_dc, dc_lens[symbols], ac_lens[symbols])
+        fields = np.empty(2 * symbols.size, dtype=np.int64)
+        lengths = np.empty(2 * symbols.size, dtype=np.int64)
+        fields[0::2] = code_vals
+        fields[1::2] = amp_bits
+        lengths[0::2] = code_lens
+        lengths[1::2] = amp_sizes
+        payload = pack_fields(fields, lengths)
+
+    return EncodedPlane(
+        width=width,
+        height=height,
+        qtable=np.asarray(qtable, dtype=np.float64),
+        dc_lengths=dc_codec.lengths(),
+        ac_lengths=ac_codec.lengths(),
+        payload=payload,
+    )
+
+
+def _encode_plane_scalar(plane: np.ndarray, qtable: np.ndarray) -> EncodedPlane:
+    """Per-symbol reference encoder (pre-vectorization semantics)."""
     height, width = plane.shape
     blocks = _blockify(plane) - 128.0
     zz = zigzag_blocks(quantize(dct2_blocks(blocks), qtable))  # (n, 64) int32
@@ -261,8 +405,129 @@ def encode_plane(plane: np.ndarray, qtable: np.ndarray) -> EncodedPlane:
     )
 
 
+_WINDOW_BITS = 32  # per-position window: lookup index in the top half,
+                   # amplitude fields read from the top ``size`` bits
+
+
+def _bit_windows(payload: bytes) -> tuple[np.ndarray, int]:
+    """``windows[i]`` = the 32 bits starting at bit ``i`` (zero-padded).
+
+    Built byte-wise: a 40-bit value per byte position covers all eight
+    bit offsets within that byte, so construction is eight strided
+    shifts over byte-sized arrays rather than 32 over bit-sized ones.
+    """
+    nbytes = len(payload)
+    total = nbytes * 8
+    if not nbytes:
+        return np.zeros(1, dtype=np.uint64), 0
+    padded = np.zeros(nbytes + 4, dtype=np.uint64)
+    padded[:nbytes] = np.frombuffer(payload, dtype=np.uint8)
+    wide = (
+        (padded[:nbytes] << np.uint64(32))
+        | (padded[1 : nbytes + 1] << np.uint64(24))
+        | (padded[2 : nbytes + 2] << np.uint64(16))
+        | (padded[3 : nbytes + 3] << np.uint64(8))
+        | padded[4 : nbytes + 4]
+    )
+    windows = np.empty(total, dtype=np.uint64)
+    mask = np.uint64(0xFFFFFFFF)
+    for r in range(8):
+        windows[r::8] = (wide >> np.uint64(8 - r)) & mask
+    return windows, total
+
+
 def entropy_decode_plane(encoded: EncodedPlane) -> PlaneCoefficients:
-    """Huffman + RLE + DC prediction + dequantization."""
+    """Huffman + RLE + DC prediction + dequantization.
+
+    Table-driven: each Huffman code resolves with one indexed lookup into
+    a precomputed 2^16 canonical-code table instead of a bit-at-a-time
+    dict walk; amplitude fields read straight out of precomputed 32-bit
+    windows.  Falls back to the scalar reference decoder when any code is
+    longer than the table index (:data:`LOOKUP_BITS`).
+    """
+    dc_codec = HuffmanCodec.from_lengths(encoded.dc_lengths)
+    ac_codec = HuffmanCodec.from_lengths(encoded.ac_lengths)
+    dc_lut = dc_codec.lookup_table()
+    ac_lut = ac_codec.lookup_table()
+    if dc_lut is None or ac_lut is None:
+        return _entropy_decode_plane_scalar(encoded)
+
+    # Plain Python lists: per-symbol indexing on lists is several times
+    # faster than numpy scalar indexing, and the conversions are one
+    # C-speed pass each.
+    dc_syms, dc_lens = (a.tolist() for a in dc_lut)
+    ac_syms, ac_lens = (a.tolist() for a in ac_lut)
+    windows_arr, total = _bit_windows(encoded.payload)
+    windows = windows_arr.tolist()
+    shift = _WINDOW_BITS - LOOKUP_BITS
+    width_bits = _WINDOW_BITS
+    n = encoded.n_blocks
+    # Decoded coefficients accumulate as flat (index, value) streams and
+    # land in the zz matrix with one fancy-index store at the end.
+    out_idx: list[int] = []
+    out_val: list[int] = []
+    dc_prev = 0
+    pos = 0
+    for b in range(n):
+        if pos >= total:
+            raise CodecError("bitstream exhausted")
+        idx = windows[pos] >> shift
+        size = dc_syms[idx]
+        if size < 0:
+            raise CodecError("invalid Huffman code in bitstream")
+        pos += dc_lens[idx]
+        if size:
+            if pos + size > total:
+                raise CodecError("bitstream exhausted")
+            bits = windows[pos] >> (width_bits - size)
+            pos += size
+            if not bits >> (size - 1):
+                bits -= (1 << size) - 1
+            dc_prev += bits
+        base = b << 6
+        out_idx.append(base)
+        out_val.append(dc_prev)
+        slot = 1
+        while slot < 64:
+            if pos >= total:
+                raise CodecError("bitstream exhausted")
+            idx = windows[pos] >> shift
+            symbol = ac_syms[idx]
+            if symbol < 0:
+                raise CodecError("invalid Huffman code in bitstream")
+            pos += ac_lens[idx]
+            if symbol == _EOB:
+                break
+            if symbol == _ZRL:
+                slot += 16
+                continue
+            size = symbol & 0x0F
+            slot += symbol >> 4
+            if slot >= 64:
+                raise CodecError("AC run overflows block")
+            if pos + size > total:
+                raise CodecError("bitstream exhausted")
+            if size:
+                bits = windows[pos] >> (width_bits - size)
+                pos += size
+                if not bits >> (size - 1):
+                    bits -= (1 << size) - 1
+            else:
+                bits = 0
+            out_idx.append(base + slot)
+            out_val.append(bits)
+            slot += 1
+    zz = np.zeros(n * 64, dtype=np.int32)
+    zz[out_idx] = out_val
+    zz = zz.reshape(n, 64)
+    blocks = dequantize(unzigzag_blocks(zz), encoded.qtable)
+    return PlaneCoefficients(
+        width=encoded.width, height=encoded.height, blocks=blocks
+    )
+
+
+def _entropy_decode_plane_scalar(encoded: EncodedPlane) -> PlaneCoefficients:
+    """Bit-at-a-time reference decoder (pre-vectorization semantics)."""
     dc_codec = HuffmanCodec.from_lengths(encoded.dc_lengths)
     ac_codec = HuffmanCodec.from_lengths(encoded.ac_lengths)
     reader = BitReader(encoded.payload)

@@ -11,9 +11,45 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import CodecError
 
-__all__ = ["BitWriter", "BitReader", "build_canonical_codes", "HuffmanCodec"]
+__all__ = [
+    "BitWriter", "BitReader", "build_canonical_codes", "HuffmanCodec",
+    "pack_fields",
+]
+
+#: lookup-table decode width: one table index covers any code (and any
+#: JPEG amplitude field) up to this many bits.  Codes longer than this —
+#: possible only for pathological frequency distributions — fall back to
+#: the bit-at-a-time scalar decoder.
+LOOKUP_BITS = 16
+
+
+def pack_fields(values: np.ndarray, lengths: np.ndarray) -> bytes:
+    """MSB-first bit-pack ``values[i]`` into ``lengths[i]`` bits each.
+
+    The vectorized equivalent of a :class:`BitWriter` loop (including the
+    zero-padding to a byte boundary), used by the table-driven JPEG
+    entropy encoder: every field of one plane — Huffman codes and
+    amplitude bits interleaved — is emitted by one call.  Zero-length
+    fields contribute nothing, so callers can interleave optional
+    amplitude fields without filtering.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return b""
+    # Explode each field into its bits: bit j of field i (MSB first) is
+    # (values[i] >> (lengths[i] - 1 - j)) & 1.
+    rep_values = np.repeat(values, lengths)
+    rep_lengths = np.repeat(lengths, lengths)
+    starts = np.cumsum(lengths) - lengths
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)
+    bits = (rep_values >> (rep_lengths - 1 - within)) & 1
+    return np.packbits(bits.astype(np.uint8)).tobytes()
 
 
 class BitWriter:
@@ -163,3 +199,43 @@ class HuffmanCodec:
             if symbol is not None:
                 return symbol
         raise CodecError("invalid Huffman code in bitstream")
+
+    def code_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(codes, lengths)`` int64 arrays indexed by symbol value.
+
+        Symbols absent from the table have length 0; the vectorized
+        encoder multiplies frequencies through these, so an absent symbol
+        can only be reached on a malformed record stream.
+        """
+        arrays = getattr(self, "_code_arrays", None)
+        if arrays is None:
+            codes = np.zeros(256, dtype=np.int64)
+            lengths = np.zeros(256, dtype=np.int64)
+            for symbol, (code, length) in self.codes.items():
+                codes[symbol] = code
+                lengths[symbol] = length
+            arrays = self._code_arrays = (codes, lengths)
+        return arrays
+
+    def lookup_table(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(symbols, lengths)`` decode tables indexed by the next
+        :data:`LOOKUP_BITS` bits of the stream, or ``None`` when some code
+        is too long for one table index.
+
+        Canonical codes are left-justified into the index: every window
+        whose leading bits equal a code maps to that code's symbol.
+        Windows matching no code map to symbol -1 (invalid stream).
+        """
+        if not self.codes or self.max_length > LOOKUP_BITS:
+            return None
+        table = getattr(self, "_lookup", None)
+        if table is None:
+            symbols = np.full(1 << LOOKUP_BITS, -1, dtype=np.int16)
+            lengths = np.zeros(1 << LOOKUP_BITS, dtype=np.int16)
+            for symbol, (code, length) in self.codes.items():
+                start = code << (LOOKUP_BITS - length)
+                span = 1 << (LOOKUP_BITS - length)
+                symbols[start : start + span] = symbol
+                lengths[start : start + span] = length
+            table = self._lookup = (symbols, lengths)
+        return table

@@ -18,6 +18,18 @@ to the scheduler.
 
 Both backends accept ``group_chains=True``; grouping is re-applied after
 every reconfiguration splice.
+
+The process backend's *speculative job leases* (``--batch N``,
+``DataflowScheduler.extract_followons``) are the dynamic counterpart of
+this static rewrite: a consumer whose only missing producer is an
+earlier member of the same lease runs immediately after it on the same
+worker — the §4.1 producer→consumer locality — but the pairing is
+decided per dispatch, not baked into the graph, so the parallelism the
+quote worries about is only forfeited when no other worker could have
+taken the consumer anyway (the lease is retracted job-by-job if the
+worker dies, and follow-ons are skipped while idle workers could use
+them).  Grouping trades parallelism for locality statically and
+visibly; batching recovers most of the locality with no graph change.
 """
 
 from __future__ import annotations

@@ -128,6 +128,39 @@ class JobQueue:
                 return self._items.popleft()
             return None
 
+    def peek(self) -> Job | None:
+        """Head of the FIFO without removing it (None when empty).
+
+        Lets the process dispatcher's oversubscription guard inspect the
+        head before committing to a dispatch — a deferred head simply
+        stays queued, with no pop/push-front churn and no inflation of
+        :attr:`total_pushed`.
+        """
+        with self._lock:
+            if self._items:
+                return self._items[0]
+            return None
+
+    def try_pop_where(self, match, stop=None) -> Job | None:
+        """Pop the first queued job satisfying ``match``, scanning from
+        the head; abandon the scan (returning ``None``) at the first job
+        for which ``stop`` is true.
+
+        This is the lease-assembly primitive of the process dispatcher:
+        it lets batching pull additional *ready* jobs into a worker's
+        lease (preferring affinity matches) without ever reordering
+        across a control-node job — ``stop`` marks those, so manager
+        invocations keep their FIFO position exactly as at ``--batch 1``.
+        """
+        with self._lock:
+            for index, job in enumerate(self._items):
+                if stop is not None and stop(job):
+                    return None
+                if match(job):
+                    del self._items[index]
+                    return job
+            return None
+
     def close(self) -> None:
         """Abort: stop serving once empty, drop any further push."""
         with self._not_empty:

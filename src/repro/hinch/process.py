@@ -39,6 +39,38 @@ checkpointed job-by-job (:meth:`~repro.hinch.component.Component.
 checkpoint_state`), so collected output survives a crash bit-for-bit.
 Deterministic failures can be scripted with :mod:`repro.hinch.faults`.
 
+Dispatch overhead is **amortized** with three cooperating mechanisms,
+all opt-in via ``batch > 1`` (``batch=1`` reproduces the job-at-a-time
+dispatcher exactly):
+
+* **Batched job leases** — the dispatcher grows the FIFO head into a
+  lease of up to ``batch`` jobs per worker: further ready jobs from the
+  queue surplus, then — only while no other worker sits idle —
+  *speculative* follow-ons along the dataflow
+  (:meth:`~repro.hinch.scheduler.DataflowScheduler.extract_followons`)
+  whose only missing dependencies are earlier lease members — they hold
+  worker-locally because the lease runs in order.  One pickle out;
+  records stream back per job (completions announce immediately, so
+  dependent work reaches *other* workers mid-lease), with the last
+  record carrying the unconsumed plane grants.
+* **Worker-resident stream slots** — values a worker produced (or
+  mapped via ``ensure``) stay live worker-side until their iteration
+  retires; a lease that reads them ships a name token, not the plane.
+  The dispatcher additionally pre-resolves learned ``ensure`` profiles
+  and attaches free-list plane *grants* sized to each node's last
+  allocations, eliminating most mid-job RPC round-trips.
+* **Slice affinity** — with batching, each task node (in particular
+  every replica of a sliced parblock) sticks to the worker that last
+  ran it while that worker is idle, keeping resident slots and caches
+  warm.
+
+A job's streamed record is its only acknowledgement: a worker that dies
+mid-lease acknowledged exactly the records that arrived (the pipe is
+FIFO), so members from the first missing record onward are retried
+job-by-job at the FIFO head — speculative members are instead retracted
+back to the scheduler's normal readiness path — and checkpoint deltas
+apply exactly once.
+
 Requires a ``fork``-capable platform (Linux): workers inherit the
 compiled :class:`~repro.core.program.Program` and component registry by
 address-space copy, so nothing about the application itself is pickled.
@@ -95,19 +127,49 @@ class _RemotePlanePool(SharedPlanePool):
     ``acquire``/``acquire_raw`` become RPCs over the control pipe; pack,
     unpack and segment mapping (with the attachment cache) are inherited.
     The worker owns no segments, so :meth:`close` never unlinks anything.
+
+    Leases may carry *grants* — free-list planes the dispatcher attached
+    based on the node's allocation profile.  A matching-bucket grant
+    satisfies an acquire without any pipe round-trip; grants left over at
+    the end of the lease ride back on the ``lease_done`` message.
     """
 
     def __init__(self, rpc: Any) -> None:
         super().__init__(shared=True)
         self._rpc = rpc
+        #: bucket size -> granted PlaneRefs usable without an RPC
+        self._grants: dict[int, list[PlaneRef]] = {}
+
+    def add_grants(self, refs: Sequence[PlaneRef]) -> None:
+        for ref in refs:
+            self._grants.setdefault(ref.nbytes, []).append(ref)
+
+    def take_unused_grants(self) -> list[PlaneRef]:
+        unused = [ref for bucket in self._grants.values() for ref in bucket]
+        self._grants.clear()
+        return unused
+
+    def _granted(self, nbytes: int) -> PlaneRef | None:
+        bucket = self._grants.get(self.bucket_of(nbytes))
+        return bucket.pop() if bucket else None
 
     def acquire(self, shape: tuple[int, ...], dtype: Any) -> tuple[np.ndarray, PlaneRef]:
         dt = np.dtype(dtype)
-        ref: PlaneRef = self._rpc(("rpc_alloc", tuple(shape), dt.str))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize if shape else dt.itemsize
+        grant = self._granted(nbytes)
+        if grant is not None:
+            ref = PlaneRef(segment=grant.segment, nbytes=nbytes,
+                           shape=tuple(shape), dtype=dt.str)
+        else:
+            ref = self._rpc(("rpc_alloc", tuple(shape), dt.str))
         self.stats.acquires += 1
         return self.open(ref), ref
 
     def acquire_raw(self, nbytes: int) -> PlaneRef:
+        grant = self._granted(nbytes)
+        if grant is not None:
+            self.stats.acquires += 1
+            return PlaneRef(segment=grant.segment, nbytes=nbytes)
         ref: PlaneRef = self._rpc(("rpc_alloc_raw", nbytes))
         self.stats.acquires += 1
         return ref
@@ -131,9 +193,24 @@ class _WorkerStreams:
     are packed for the completion message; ``ensure_buffer`` maps the
     shared whole-frame plane all slice copies of this (stream, iteration)
     write into.  Grouped-chain members see each other's writes locally.
+
+    Inputs this worker already holds live — produced by an earlier job of
+    the same lease, or resident from a previous lease — arrive as bare
+    *names* instead of :class:`Packed` planes and are seeded straight
+    from the worker's resident-slot cache: no bytes cross the pipe and no
+    unpack runs.  Pre-resolved ``ensure_buffer`` planes (the dispatcher
+    ships the slot's :class:`PlaneRef` once it knows the node's ensure
+    profile) are mapped up front, removing the per-slice ensure RPC.
     """
 
-    def __init__(self, worker: "_Worker", inputs: dict[str, Packed]) -> None:
+    def __init__(
+        self,
+        worker: "_Worker",
+        iteration: int,
+        inputs: dict[str, Packed],
+        resident: tuple[str, ...] = (),
+        ensured: dict[str, PlaneRef] | None = None,
+    ) -> None:
         self.worker = worker
         self.inputs = inputs
         #: resolved stream name -> Packed, shipped with the completion
@@ -143,6 +220,18 @@ class _WorkerStreams:
         self.values: dict[str, Any] = {}
         #: resolved stream name -> shared ensure-buffer view
         self.ensured: dict[str, np.ndarray] = {}
+        for name in resident:
+            try:
+                self.values[name] = worker.resident[(name, iteration)]
+            except KeyError:
+                raise StreamError(
+                    f"stream {name!r}: dispatcher referenced a resident "
+                    f"slot for iteration {iteration} this worker does not "
+                    "hold"
+                ) from None
+        if ensured:
+            for name, ref in ensured.items():
+                self.ensured[name] = worker.pool.open(ref)
 
     def stream(self, name: str) -> "_WorkerStream":
         return _WorkerStream(self, name)
@@ -216,8 +305,8 @@ class _WorkerStream:
                     )
                 shape, dtype = proto.shape, proto.dtype
             ref: PlaneRef = ws.worker.rpc(
-                ("rpc_ensure", self.name, iteration, tuple(shape),
-                 np.dtype(dtype).str)
+                ("rpc_ensure", ws.worker.current_node, self.name, iteration,
+                 tuple(shape), np.dtype(dtype).str)
             )
             buf = ws.worker.pool.open(ref)
             ws.ensured[self.name] = buf
@@ -232,7 +321,7 @@ class _Worker:
         conn: Connection,
         program: Program,
         registry: Mapping[str, type[Component]],
-        option_states: dict[str, bool],
+        pg: ProgramGraph,
         group_chains: bool,
         worker_id: int,
     ) -> None:
@@ -242,9 +331,21 @@ class _Worker:
         self.group_chains = group_chains
         self.worker_id = worker_id
         self.pool = _RemotePlanePool(self.rpc)
-        self.pg = self._make_pg(option_states)
+        # The dispatcher's already-built (and already-grouped) graph is
+        # inherited through fork copy-on-write — rebuilding it here would
+        # add parse/group latency to every spawn and respawn.  A splice
+        # rebuilds locally (the new option states arrive by message).
+        self.pg = pg
         self.host = ComponentHost(program, registry)
         self.host.populate(self.pg.active_components)
+        #: (stream name, iteration) -> live value produced or mapped by
+        #: this worker; lets a lease reference data already here by name
+        #: only.  Evicted below the dispatcher's iteration watermark.
+        self.resident: dict[tuple[str, int], Any] = {}
+        #: node id of the job currently executing (ensure-RPC context)
+        self.current_node: str = ""
+        #: wall seconds the current job spent waiting on dispatcher RPCs
+        self.rpc_wait = 0.0
 
     def _make_pg(self, option_states: Mapping[str, bool]) -> ProgramGraph:
         pg = self.program.build_graph(option_states)
@@ -266,12 +367,16 @@ class _Worker:
         dispatcher only splices at quiescence and never sends jobs to a
         busy worker.
         """
-        self.conn.send(request)
-        while True:
-            reply = self.conn.recv()
-            if reply[0] == "rpc":
-                return reply[1]
-            self._handle_control(reply)
+        t0 = time.perf_counter()
+        try:
+            self.conn.send(request)
+            while True:
+                reply = self.conn.recv()
+                if reply[0] == "rpc":
+                    return reply[1]
+                self._handle_control(reply)
+        finally:
+            self.rpc_wait += time.perf_counter() - t0
 
     def _handle_control(self, msg: tuple[Any, ...]) -> None:
         tag = msg[0]
@@ -315,13 +420,15 @@ class _Worker:
         iteration: int,
         node_id: str,
         inputs: dict[str, Packed],
-        fault: tuple | None = None,
-    ) -> None:
+        resident: tuple[str, ...],
+        ensured: dict[str, PlaneRef] | None,
+        fault: tuple | None,
+    ) -> tuple:
         self._apply_fault(fault)
         node = self.pg.graph.node(node_id)
         payload = node.payload
         instances = payload if isinstance(payload, tuple) else (payload,)
-        ws = _WorkerStreams(self, inputs)
+        ws = _WorkerStreams(self, iteration, inputs, resident, ensured)
         events: list[tuple[str, Event]] = []
         broker = _RecordingBroker(events)
         stop_requested = False
@@ -330,7 +437,10 @@ class _Worker:
             nonlocal stop_requested
             stop_requested = True
 
+        self.current_node = node_id
+        self.rpc_wait = 0.0
         start = time.perf_counter()
+        cpu_start = time.process_time()
         for instance in instances:
             component = self.host.live[instance.instance_id]
             ctx = JobContext(
@@ -342,6 +452,11 @@ class _Worker:
                 stop_requester=request_stop,
             )
             component.run(ctx)
+        # "Busy" time for the dispatcher's CPU-bound classification: CPU
+        # burned plus time stalled on dispatcher RPCs — the latter is
+        # coordination contention, not a kernel yielding the processor,
+        # so it must not make a compute kernel look blocking.
+        cpu = time.process_time() - cpu_start + self.rpc_wait
         end = time.perf_counter()
         # Checkpoint the state this job accrued: the delta rides on the
         # completion message (NOT through pool.pack — checkpoints are
@@ -353,10 +468,45 @@ class _Worker:
             delta = self.host.live[instance.instance_id].checkpoint_state()
             if delta is not None:
                 state_updates[instance.instance_id] = delta
-        self.conn.send(
-            ("done", iteration, node_id, ws.outputs, events, stop_requested,
-             start, end, state_updates)
-        )
+        # Keep this job's products resident: a later job of this lease —
+        # or of a future lease, until the iteration retires — can then be
+        # handed the value by name, with no plane re-shipped and no
+        # second unpack.
+        for name in ws.outputs:
+            self.resident[(name, iteration)] = ws.values[name]
+        for name, buf in ws.ensured.items():
+            self.resident[(name, iteration)] = buf
+        return (iteration, node_id, ws.outputs, events, stop_requested,
+                start, end, cpu, state_updates)
+
+    def _run_lease(
+        self,
+        entries: list[tuple],
+        grants: Sequence[PlaneRef],
+        watermark: int | None,
+    ) -> None:
+        """Execute a batch of jobs, streaming a record back per job.
+
+        The lease runs strictly in order — later entries may read streams
+        produced by earlier ones (worker-resident, referenced by name).
+        Each completion is announced as soon as it happens (so the
+        dispatcher can release dependent work to *other* workers without
+        waiting for the whole lease); the last record additionally
+        carries the unconsumed plane grants.  Because the pipe is FIFO,
+        a record either arrived (acknowledged, applied exactly once) or
+        the dispatcher knows its job — and every later one — never ran.
+        """
+        if watermark is not None:
+            for key in [k for k in self.resident if k[1] < watermark]:
+                del self.resident[key]
+        self.pool.add_grants(grants)
+        last = len(entries) - 1
+        for index, entry in enumerate(entries):
+            iteration, node_id, inputs, resident, ensured, fault = entry
+            record = self._run_job(iteration, node_id, inputs, resident,
+                                   ensured, fault)
+            unused = self.pool.take_unused_grants() if index == last else None
+            self.conn.send(("done", record, unused))
 
     # -- main loop -----------------------------------------------------------
 
@@ -365,9 +515,8 @@ class _Worker:
             while True:
                 msg = self.conn.recv()
                 tag = msg[0]
-                if tag == "job":
-                    self._run_job(msg[1], msg[2], msg[3],
-                                  msg[4] if len(msg) > 4 else None)
+                if tag == "lease":
+                    self._run_lease(msg[1], msg[2], msg[3])
                 elif tag == "stop":
                     snapshots = {}
                     for instance_id, component in self.host.live.items():
@@ -400,17 +549,42 @@ def _worker_entry(
     conn: Connection,
     program: Program,
     registry: Mapping[str, type[Component]],
-    option_states: dict[str, bool],
+    pg: ProgramGraph,
     group_chains: bool,
     worker_id: int,
 ) -> None:
-    _Worker(conn, program, registry, option_states, group_chains,
-            worker_id).main()
+    _Worker(conn, program, registry, pg, group_chains, worker_id).main()
 
 
 # ---------------------------------------------------------------------------
 # Dispatcher side
 # ---------------------------------------------------------------------------
+
+
+class _Lease:
+    """Dispatcher-side record of one batch of jobs shipped to a worker.
+
+    ``speculative[i]`` marks jobs added by
+    :meth:`~repro.hinch.scheduler.DataflowScheduler.extract_followons`
+    (their dependencies are earlier lease members); ``deferred[i]`` lists
+    the stream reads of job *i* whose accounting waits until its record
+    arrives (the values did not exist dispatcher-side at assembly);
+    ``done`` counts the records already acknowledged — on worker death,
+    members from ``done`` onward never ran and are retried or retracted.
+    """
+
+    __slots__ = ("jobs", "speculative", "deferred", "done")
+
+    def __init__(
+        self,
+        jobs: list[Job],
+        speculative: list[bool],
+        deferred: list[list[str]],
+    ) -> None:
+        self.jobs = jobs
+        self.speculative = speculative
+        self.deferred = deferred
+        self.done = 0
 
 
 class ProcessRuntime:
@@ -422,12 +596,23 @@ class ProcessRuntime:
     reconfiguration — is made by the same single-threaded dispatcher
     state machines the threaded backend uses under its lock.
 
+    Performance knob:
+
+    * ``batch`` — maximum jobs per lease (default 1).  At 1 the
+      dispatcher is job-at-a-time and bit-identical to previous
+      behavior; larger values amortize pickling, pipe wakeups and
+      alloc/ensure RPCs across the lease and enable worker-resident
+      stream tokens plus slice affinity.  Outputs stay bit-identical at
+      any batch size; only dispatch granularity changes.
+
     Fault-tolerance knobs:
 
-    * ``watchdog`` — per-job wall-clock budget in seconds.  A worker
-      holding one job longer is presumed wedged, killed, and its job
-      retried.  ``None`` (default) disables the watchdog; worker *death*
-      is still detected immediately via pipe EOF / process sentinels.
+    * ``watchdog`` — per-job wall-clock budget in seconds; within a
+      lease each streamed record resets the window.  A worker holding
+      one job longer is presumed wedged, killed, and the lease's
+      unacknowledged jobs retried.  ``None`` (default) disables the
+      watchdog; worker *death* is still detected immediately via pipe
+      EOF / process sentinels.
     * ``max_retries`` — how many times one ``(iteration, node)`` job may
       be re-issued after losing its worker before the run fails with a
       structured :class:`~repro.errors.WorkerFailure`.
@@ -437,9 +622,6 @@ class ProcessRuntime:
       :class:`~repro.hinch.faults.FaultSpec`, or a
       :class:`~repro.hinch.faults.FaultInjector`) for testing.
     """
-
-    #: idle-loop liveness check period when no watchdog deadline is nearer
-    _HEARTBEAT = 60.0
 
     def __init__(
         self,
@@ -452,6 +634,7 @@ class ProcessRuntime:
         trace: bool = False,
         option_states: Mapping[str, bool] | None = None,
         group_chains: bool = False,
+        batch: int = 1,
         watchdog: float | None = None,
         max_retries: int = 2,
         respawn: bool = True,
@@ -459,6 +642,8 @@ class ProcessRuntime:
     ) -> None:
         if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
+        if batch < 1:
+            raise SchedulingError(f"batch must be >= 1, got {batch}")
         if watchdog is not None and watchdog <= 0:
             raise SchedulingError(f"watchdog must be > 0 seconds, got {watchdog}")
         if max_retries < 0:
@@ -466,6 +651,7 @@ class ProcessRuntime:
         self.program = program
         self.registry = registry
         self.workers = workers
+        self.batch = batch
         self.pipeline_depth = pipeline_depth
         self.max_iterations = max_iterations
         self.group_chains = group_chains
@@ -502,7 +688,7 @@ class ProcessRuntime:
         self._conns: list[Connection] = []
         self._procs: list[Any] = []
         self._idle: set[int] = set()
-        self._busy: dict[int, Job] = {}
+        self._busy: dict[int, _Lease] = {}
         #: slots currently backed by a live worker process
         self._live: set[int] = set()
         #: slot -> monotonically increasing worker incarnation id; retry
@@ -526,6 +712,33 @@ class ProcessRuntime:
         self._dispatched_tasks = 0
         self._respawns = 0
         self.fault_events: list[dict[str, Any]] = []
+        #: node_id -> preferred worker slot (slice affinity: replica k of
+        #: a sliced parblock keeps landing on the worker that holds its
+        #: planes and resident slots warm, while that worker is idle)
+        self._affinity: dict[str, int] = {}
+        #: iteration -> stream name -> worker slots holding the value
+        #: live (resident-slot tokens replace plane re-shipping)
+        self._resident: dict[int, dict[str, set[int]]] = {}
+        #: worker slot -> planes granted with the current lease (released
+        #: back to the pool if the worker dies before lease_done)
+        self._granted: dict[int, list[PlaneRef]] = {}
+        #: node_id -> [(stream, shape, dtype)] ensure_buffer profile,
+        #: learned from ensure RPCs; lets leases pre-resolve slot planes
+        self._ensure_profile: dict[str, list[tuple[str, tuple, str]]] = {}
+        #: node_id -> [payload nbytes] of the node's last output planes;
+        #: sizes free-list grants attached to its future leases
+        self._demand: dict[str, list[int]] = {}
+        #: node_id -> True when the node's kernel burns CPU for most of
+        #: its wall time (measured worker-side).  CPU-bound nodes gain
+        #: nothing from spreading across more workers than physical
+        #: cores, so once the cores are saturated their fan-out
+        #: successors may be chained speculatively; blocking kernels
+        #: (cpu << wall, e.g. I/O or device waits) always spread.
+        self._cpu_bound: dict[str, bool] = {}
+        try:
+            self._cores = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            self._cores = os.cpu_count() or 1
 
     def _make_pg(
         self, program: Program, option_states: Mapping[str, bool] | None
@@ -541,6 +754,9 @@ class ProcessRuntime:
 
     def on_iteration_complete(self, iteration: int) -> None:
         self.streams.release_iteration(iteration)
+        # The planes behind these slots are back on the free lists, so
+        # worker-resident views of them are no longer referenceable.
+        self._resident.pop(iteration, None)
 
     def on_reconfigure(
         self, plans: list[ReconfigPlan], resume_iteration: int
@@ -556,6 +772,14 @@ class ProcessRuntime:
         self.pg = new_pg
         self._target_states = dict(states)
         self.reconfig_log.append((resume_iteration, dict(states)))
+        # Node identities and stream geometries may change across the
+        # splice: drop everything learned about the old graph.  (Resident
+        # slots are already gone — reconfiguration happens at quiescence,
+        # after every in-flight iteration released its streams.)
+        self._affinity.clear()
+        self._ensure_profile.clear()
+        self._demand.clear()
+        self._cpu_bound.clear()
         # The graph is quiescent (no jobs in flight), so every worker is
         # idle and will process the splice before its next job.  self.pg
         # is already the new graph, so a worker respawned by a send
@@ -627,8 +851,22 @@ class ProcessRuntime:
 
     # -- dispatch ------------------------------------------------------------
 
-    def _gather_inputs(self, node: Any, iteration: int) -> dict[str, Packed]:
-        """Resolve and fetch every input stream value a job needs.
+    def _gather_inputs(
+        self, node: Any, iteration: int, worker: int
+    ) -> tuple[dict[str, Packed], tuple[str, ...], list[str]]:
+        """Resolve every input stream value a job needs.
+
+        Returns ``(shipped, resident, deferred)``:
+
+        * ``shipped`` — name -> :class:`Packed` planes that must cross
+          the pipe (the worker does not hold them);
+        * ``resident`` — names the worker already holds live (it produced
+          or mapped them), referenced by token only;
+        * ``deferred`` — reads (with per-port multiplicity) whose values
+          do not exist dispatcher-side yet because the producer is an
+          earlier member of the same speculative lease; their ``get``
+          accounting replays when the lease completes, keeping stream
+          counters bit-identical to the threaded backend.
 
         One ``get`` per (instance, input port), mirroring the threaded
         backend's per-copy ``job.read`` counters.  Streams produced by an
@@ -645,7 +883,10 @@ class ProcessRuntime:
                 raw = instance.streams.get(port)
                 if raw is not None:
                     produced.add(aliases.get(raw, raw))
-        inputs: dict[str, Packed] = {}
+        shipped: dict[str, Packed] = {}
+        resident: list[str] = []
+        deferred: list[str] = []
+        holders = self._resident.get(iteration, {})
         for instance in instances:
             ports = self.registry[instance.class_name].ports
             for port in ports.inputs:
@@ -655,14 +896,94 @@ class ProcessRuntime:
                 name = aliases.get(raw, raw)
                 if name in produced:
                     continue
-                value = self.streams.stream(name).get(iteration)
+                stream = self.streams.stream(name)
+                if not stream.has(iteration):
+                    # Producer is an earlier job of this very lease: the
+                    # worker will hold the value by the time this job
+                    # runs; account for the read at lease completion.
+                    deferred.append(name)
+                    if name not in resident:
+                        resident.append(name)
+                    continue
+                value = stream.get(iteration)
+                if worker in holders.get(name, ()):
+                    if name not in resident:
+                        resident.append(name)
+                    continue
                 if not isinstance(value, Packed):  # pragma: no cover
                     raise StreamError(
                         f"stream {name!r}: non-transportable slot value "
                         f"{type(value).__name__}"
                     )
-                inputs[name] = value
-        return inputs
+                shipped[name] = value
+        return shipped, tuple(resident), deferred
+
+    def _mark_resident(self, iteration: int, name: str, worker: int) -> None:
+        self._resident.setdefault(iteration, {}).setdefault(
+            name, set()
+        ).add(worker)
+
+    def _pre_ensure(
+        self, node_id: str, iteration: int, worker: int
+    ) -> dict[str, PlaneRef] | None:
+        """Resolve a job's ``ensure_buffer`` planes at dispatch time.
+
+        Once a node's ensure profile is known (recorded from its first
+        ensure RPC), the dispatcher performs the slot allocation itself —
+        the same :meth:`Stream.ensure_buffer` call the RPC handler makes,
+        so write accounting and geometry validation are unchanged — and
+        ships the :class:`PlaneRef` with the lease, eliminating one RPC
+        round-trip per slice copy per iteration.
+        """
+        profile = self._ensure_profile.get(node_id)
+        if not profile:
+            return None
+        ensured: dict[str, PlaneRef] = {}
+        for name, shape, dtype in profile:
+            ensured[name] = self._ensure_slot(name, iteration, shape, dtype)
+            self._mark_resident(iteration, name, worker)
+        return ensured
+
+    def _ensure_slot(
+        self, name: str, iteration: int, shape: tuple, dtype: str
+    ) -> PlaneRef:
+        stream = self.streams.stream(name)
+        packed = stream.ensure_buffer(
+            iteration,
+            factory=lambda: self.pool.pack_plane(
+                self.pool.acquire(tuple(shape), dtype)[1]
+            ),
+        )
+        # ensure planes are stream-owned, not worker-leased: the slot
+        # survives the worker and is released with its iteration.
+        ref = packed.refs[0]
+        if tuple(ref.shape) != tuple(shape) or np.dtype(ref.dtype) != np.dtype(
+            dtype
+        ):
+            raise StreamError(
+                f"stream {name!r}: ensure_buffer geometry mismatch in "
+                f"iteration {iteration}: requested "
+                f"{tuple(shape)}/{np.dtype(dtype)}, slot already "
+                f"allocated as {tuple(ref.shape)}/{np.dtype(ref.dtype)}"
+            )
+        return ref
+
+    def _issue_grants(self, node_id: str, worker: int) -> list[PlaneRef]:
+        """Attach free-list planes matching the node's last allocations.
+
+        Purely an RPC saver: a grant the worker consumes replaces one
+        ``rpc_alloc`` round-trip; unconsumed grants return with the
+        lease.  Only free planes are granted — never fresh ones — so the
+        pool's working set stays bounded by the pipeline depth.
+        """
+        grants: list[PlaneRef] = []
+        for nbytes in self._demand.get(node_id, ()):
+            ref = self.pool.try_acquire_free(nbytes)
+            if ref is not None:
+                grants.append(ref)
+        if grants:
+            self._granted.setdefault(worker, []).extend(grants)
+        return grants
 
     def _run_local(self, job: Job, node: Any) -> None:
         """Execute a control node (manager/barrier) on the dispatcher."""
@@ -694,51 +1015,239 @@ class ProcessRuntime:
         """Hand the FIFO head to idle workers; run control nodes inline.
 
         Jobs are popped only while a worker is idle — with one worker
-        this reproduces the threaded backend's single-thread FIFO order
-        exactly (control jobs included), which is what makes
-        reconfiguration timing deterministic at ``workers=1``.
+        and ``batch=1`` this reproduces the threaded backend's
+        single-thread FIFO order exactly (control jobs included), which
+        is what makes reconfiguration timing deterministic at
+        ``workers=1``.  With ``batch > 1`` the popped head seeds a
+        *lease* that :meth:`_dispatch_lease` extends with further ready
+        jobs and speculative follow-ons.
 
         Retried jobs prefer a worker incarnation that has not already
         failed them (a deterministic kernel crash should not burn the
         whole retry budget on one wedged worker); in a fault-free run the
         exclusion map is empty and the pick stays ``min(idle)``, so
         dispatch order — and with it bit-identical output — is unchanged.
+
+        With ``batch > 1`` an *oversubscription guard* applies first:
+        when as many workers are already running CPU-bound jobs as the
+        host has physical cores, a CPU-bound head is held at the queue
+        front instead of waking another worker — a free worker slot is
+        not a free processor, and the held job joins the finishing
+        worker's next lease instead of adding a process to contend with.
+        Blocking kernels (measured cpu << wall) are never held.  Worker
+        slots beyond 0 fork lazily, so a run the guard keeps consolidated
+        never pays their spawn cost.
         """
-        while self._idle:
-            job = self.queue.try_pop()
+        while True:
+            if not self._idle and not self._dormant:
+                return
+            job = self.queue.peek()
             if job is None:
                 return
             node = self.pg.graph.node(job.node_id)
             if node.kind != "task":
+                self.queue.try_pop()
                 self._run_local(job, node)
                 continue
+            if self._defer_oversubscribed(job):
+                # Held at the head, still queued: the finishing worker's
+                # next lease assembly will chain it instead.
+                return
+            self.queue.try_pop()
+            if not self._idle:
+                self._spawn_one(self._unspawned_slot())
             worker = self._pick_worker(job)
             self._idle.discard(worker)
-            inputs = self._gather_inputs(node, job.iteration)
-            self._busy[worker] = job
-            if self.watchdog is not None:
-                self._deadlines[worker] = time.perf_counter() + self.watchdog
+            self._dispatch_lease(worker, job)
+
+    def _defer_oversubscribed(self, job: Job) -> bool:
+        """Hold a CPU-bound head while the physical cores are all taken.
+
+        True when ``job``'s node is CPU-bound (or not yet measured —
+        optimistic spreading would fork workers that a compute-heavy app
+        never profits from) and at least ``_cores`` busy workers are
+        currently executing CPU-bound jobs.  Progress is guaranteed:
+        deferral requires a busy worker, whose next record re-enters
+        :meth:`_pump`.  On hosts with at least as many cores as workers
+        the count can never reach ``_cores`` while a worker is idle, so
+        the guard is inert and dispatch order is unchanged.  Never
+        defers at ``batch=1`` (bit-identical legacy dispatch).
+        """
+        if self.batch <= 1:
+            return False
+        if not self._cpu_bound.get(job.node_id, True):
+            return False
+        cpu_busy = 0
+        for lease in self._busy.values():
+            index = min(lease.done, len(lease.jobs) - 1)
+            current = lease.jobs[index]
+            if self._cpu_bound.get(current.node_id, True):
+                cpu_busy += 1
+                if cpu_busy >= self._cores:
+                    return True
+        return False
+
+    def _assemble_lease(self, worker: int, head: Job) -> _Lease:
+        """Grow ``head`` into a batch of up to ``self.batch`` jobs.
+
+        Two extension sources, in priority order:
+
+        1. *Ready* jobs already queued, taken only from the surplus the
+           idle workers cannot absorb (never starving another idle
+           worker), preferring this worker's affinity nodes and never
+           scanning past a control-node job (manager invocations keep
+           their FIFO position exactly as at ``batch=1``).
+        2. *Speculative* follow-ons from
+           :meth:`~repro.hinch.scheduler.DataflowScheduler.extract_followons`
+           — successors whose only missing dependencies are earlier lease
+           members, which hold worker-locally because the lease runs in
+           order.
+        """
+        jobs = [head]
+        speculative = [False]
+        if self.batch > 1:
+            incarnation = self._incarnation[worker]
+            graph = self.pg.graph
+
+            def is_control(job: Job) -> bool:
+                return graph.node(job.node_id).kind != "task"
+
+            def matches(job: Job) -> bool:
+                if graph.node(job.node_id).kind != "task":
+                    return False
+                excluded = self._excluded.get((job.iteration, job.node_id))
+                if excluded and incarnation in excluded:
+                    return False
+                affinity = self._affinity.get(job.node_id)
+                return affinity is None or affinity == worker
+
+            # Ready extension takes (a) the surplus no other worker —
+            # idle or not yet forked — could absorb, and (b) when the
+            # physical cores are saturated and this lease is CPU-bound
+            # work, further CPU-bound jobs regardless of surplus: the
+            # oversubscription guard would only hold them at the head
+            # anyway, so chaining them here amortizes their dispatch
+            # instead.
+            spare = len(self._idle) + self._dormant
+            saturated = len(self._busy) + 1 >= self._cores
+            head_cpu = self._cpu_bound.get(head.node_id, True)
+
+            def matches_cpu(job: Job) -> bool:
+                return matches(job) and self._cpu_bound.get(
+                    job.node_id, True
+                )
+
+            while len(jobs) < self.batch:
+                if len(self.queue) > spare:
+                    extra = self.queue.try_pop_where(matches,
+                                                     stop=is_control)
+                elif saturated and head_cpu and len(self.queue) > 0:
+                    extra = self.queue.try_pop_where(matches_cpu,
+                                                     stop=is_control)
+                else:
+                    extra = None
+                if extra is None:
+                    break
+                jobs.append(extra)
+                speculative.append(False)
+
+            # A speculated job is bound to *this* worker, so while idle
+            # workers remain, speculate only pipeline extensions — a
+            # node's next iteration can never overlap its current one,
+            # so chaining it forfeits no parallelism — and leave fan-out
+            # successors to announce normally so they can run
+            # concurrently elsewhere (blocking-kernel stages in
+            # particular must spread, not chain).  With every worker
+            # busy, chaining successors too is free — the work is
+            # serialized anyway and each round-trip saved is pure
+            # profit.  In between — idle workers, but already at least
+            # as many busy as physical cores — spreading a CPU-bound
+            # successor buys nothing (the cores are the bottleneck, not
+            # the workers), so nodes measured CPU-bound chain while
+            # blocking kernels keep spreading.
+            if len(jobs) < self.batch:
+
+                def is_eligible(node_id: str) -> bool:
+                    return graph.node(node_id).kind == "task"
+
+                chainable = None
+                if self._idle and saturated:
+                    pipeline_only = False
+
+                    def chainable(node_id: str) -> bool:
+                        return self._cpu_bound.get(node_id, False)
+
+                else:
+                    pipeline_only = bool(self._idle)
+                followons = self.scheduler.extract_followons(
+                    jobs, self.batch - len(jobs), is_eligible=is_eligible,
+                    pipeline_only=pipeline_only, is_chainable=chainable,
+                )
+                jobs.extend(followons)
+                speculative.extend([True] * len(followons))
+        return _Lease(jobs, speculative, [[] for _ in jobs])
+
+    def _dispatch_lease(self, worker: int, head: Job) -> None:
+        """Assemble and ship one lease to ``worker``."""
+        lease = self._assemble_lease(worker, head)
+        entries: list[tuple] = []
+        for index, job in enumerate(lease.jobs):
+            node = self.pg.graph.node(job.node_id)
+            shipped, resident, deferred = self._gather_inputs(
+                node, job.iteration, worker
+            )
+            lease.deferred[index] = deferred
+            ensured = self._pre_ensure(job.node_id, job.iteration, worker)
             self._dispatched_tasks += 1
             fault = None
             if self.fault_injector is not None:
                 fault = self.fault_injector.directive(self._dispatched_tasks)
-            try:
-                self._conns[worker].send(
-                    ("job", job.iteration, job.node_id, inputs, fault)
-                )
-            except OSError:
-                # Worker died between going idle and this dispatch; the
-                # job is in _busy so the normal failure path retries it.
-                self._worker_failed(worker, "send failed (broken pipe)")
+            entries.append(
+                (job.iteration, job.node_id, shipped, resident, ensured,
+                 fault)
+            )
+            if self.batch > 1:
+                self._affinity.setdefault(job.node_id, worker)
+        grants: list[PlaneRef] = []
+        for job in lease.jobs:
+            grants.extend(self._issue_grants(job.node_id, worker))
+        self._busy[worker] = lease
+        if self.watchdog is not None:
+            # Per-job budget: each record resets the window, so a lease
+            # of n jobs never waits n windows for a wedged first job.
+            self._deadlines[worker] = time.perf_counter() + self.watchdog
+        try:
+            self._conns[worker].send(
+                ("lease", entries, grants,
+                 self.scheduler.lowest_live_iteration)
+            )
+        except OSError:
+            # Worker died between going idle and this dispatch; the
+            # lease is in _busy so the normal failure path retries it.
+            self._worker_failed(worker, "send failed (broken pipe)")
 
     def _pick_worker(self, job: Job) -> int:
+        """Choose an idle worker for the FIFO head.
+
+        With batching, sliced parblock replicas (and every other task
+        node) get sticky *affinity*: the worker that last ran a node is
+        preferred, so its resident planes and warm caches are reused and
+        the dispatcher ships tokens instead of pixel planes.  At
+        ``batch=1`` affinity is never recorded and the pick stays
+        ``min(idle)`` — bit-identical to the pre-batching dispatcher.
+        """
         excluded = self._excluded.get((job.iteration, job.node_id))
         if excluded:
             eligible = [
                 w for w in self._idle if self._incarnation[w] not in excluded
             ]
-            if eligible:
-                return min(eligible)
+        else:
+            eligible = list(self._idle)
+        if eligible:
+            affinity = self._affinity.get(job.node_id)
+            if affinity is not None and affinity in eligible:
+                return affinity
+            return min(eligible)
         return min(self._idle)
 
     # -- worker message handling ---------------------------------------------
@@ -746,44 +1255,8 @@ class ProcessRuntime:
     def _on_message(self, worker: int, msg: tuple[Any, ...]) -> None:
         tag = msg[0]
         if tag == "done":
-            (_, iteration, node_id, outputs, events, stop, start, end,
-             state_updates) = msg
-            job = self._busy.pop(worker)
-            if job.iteration != iteration or job.node_id != node_id:
-                raise SchedulingError(
-                    f"worker {worker} completed {node_id}@{iteration}, "
-                    f"expected {job.node_id}@{job.iteration}"
-                )
-            # The job is acknowledged: planes the worker RPC-allocated
-            # for it now live in stream slots (released per iteration),
-            # so they leave the worker's lease list.
-            self._leases.pop(worker, None)
-            self._deadlines.pop(worker, None)
-            self._attempts.pop((iteration, node_id), None)
-            self._excluded.pop((iteration, node_id), None)
-            for name, packed in outputs.items():
-                self.streams.stream(name).put(iteration, packed)
-            for qname, event in events:
-                self.broker.post(qname, event)
-            for instance_id, delta in state_updates.items():
-                component = self.host.live.get(instance_id)
-                if component is not None:
-                    component.merge_state(delta)
-            if stop:
-                self.scheduler.request_stop()
-            if self.tracer.enabled:
-                self.tracer.record(
-                    TraceEvent(
-                        node_id=node_id,
-                        iteration=iteration,
-                        worker=worker,
-                        start=start,
-                        end=end,
-                        kind="task",
-                    )
-                )
-            self._idle.add(worker)
-            self._complete(job)
+            _, record, unused_grants = msg
+            self._record_done(worker, record, unused_grants)
         elif tag == "rpc_alloc":
             _, shape, dtype = msg
             _, ref = self.pool.acquire(tuple(shape), dtype)
@@ -794,26 +1267,15 @@ class ProcessRuntime:
             self._leases.setdefault(worker, []).append(ref)
             self._rpc_reply(worker, ref)
         elif tag == "rpc_ensure":
-            _, name, iteration, shape, dtype = msg
-            stream = self.streams.stream(name)
-            packed = stream.ensure_buffer(
-                iteration,
-                factory=lambda: self.pool.pack_plane(
-                    self.pool.acquire(tuple(shape), dtype)[1]
-                ),
-            )
-            # ensure planes are stream-owned, not worker-leased: the slot
-            # survives the worker and is released with its iteration.
-            ref = packed.refs[0]
-            if tuple(ref.shape) != tuple(shape) or np.dtype(
-                ref.dtype
-            ) != np.dtype(dtype):
-                raise StreamError(
-                    f"stream {name!r}: ensure_buffer geometry mismatch in "
-                    f"iteration {iteration}: worker {worker} requested "
-                    f"{tuple(shape)}/{np.dtype(dtype)}, slot already "
-                    f"allocated as {tuple(ref.shape)}/{np.dtype(ref.dtype)}"
-                )
+            _, node_id, name, iteration, shape, dtype = msg
+            ref = self._ensure_slot(name, iteration, tuple(shape), dtype)
+            # Learn the node's ensure profile: from the next lease on,
+            # the dispatcher resolves this slot at assembly and ships
+            # the ref with the lease — no RPC round-trip.
+            profile = self._ensure_profile.setdefault(node_id, [])
+            if name not in {entry[0] for entry in profile}:
+                profile.append((name, tuple(shape), dtype))
+            self._mark_resident(iteration, name, worker)
             self._rpc_reply(worker, ref)
         elif tag == "error":
             raise self._worker_error(worker, msg[1], msg[2])
@@ -822,6 +1284,109 @@ class ProcessRuntime:
                 f"dispatcher got unexpected message {tag!r} from worker "
                 f"{worker}"
             )
+
+    def _record_done(
+        self,
+        worker: int,
+        record: tuple,
+        unused_grants: Sequence[PlaneRef] | None,
+    ) -> None:
+        """Absorb one streamed job record from a worker's lease.
+
+        Records arrive — and are applied — in lease order over the FIFO
+        pipe, so deferred read accounting for a consumer always replays
+        after its producer's ``put``, and event/checkpoint ordering
+        matches a job-at-a-time dispatcher exactly.  Completions are
+        announced immediately (dependent work can go to *other* workers
+        mid-lease); a record is the only acknowledgement of its job, so
+        each checkpoint delta applies exactly once — a worker that died
+        mid-lease acknowledged precisely the records that arrived, and
+        every later member is retried or retracted.  The final record
+        carries the unconsumed grants and returns the worker to the idle
+        set.
+        """
+        lease = self._busy[worker]
+        if lease.done >= len(lease.jobs):
+            raise SchedulingError(
+                f"worker {worker} returned more records than its lease of "
+                f"{len(lease.jobs)}"
+            )
+        job = lease.jobs[lease.done]
+        deferred = lease.deferred[lease.done]
+        (iteration, node_id, outputs, events, stop, start, end, cpu,
+         state_updates) = record
+        if job.iteration != iteration or job.node_id != node_id:
+            raise SchedulingError(
+                f"worker {worker} completed {node_id}@{iteration}, "
+                f"expected {job.node_id}@{job.iteration}"
+            )
+        lease.done += 1
+        # Acknowledged: planes the worker RPC-allocated for this job now
+        # live in stream slots (released per iteration), so they leave
+        # the worker's liability list.  The pipe is FIFO, so everything
+        # alloc'd so far belongs to jobs acknowledged up to here.
+        self._leases.pop(worker, None)
+        self._attempts.pop((iteration, node_id), None)
+        self._excluded.pop((iteration, node_id), None)
+        # Replay reads whose values did not exist at assembly (their
+        # producer was an earlier member of this lease) — the producer's
+        # put has landed by now, so stream counters stay bit-identical
+        # to the threaded backend.
+        for name in deferred:
+            self.streams.stream(name).get(iteration)
+        demand: list[int] = []
+        for name, packed in outputs.items():
+            self.streams.stream(name).put(iteration, packed)
+            self._mark_resident(iteration, name, worker)
+            demand.extend(ref.nbytes for ref in packed.refs)
+        self._demand[node_id] = demand
+        # Monotone: involuntary preemption on a loaded host can only
+        # deflate an observed cpu/wall ratio, never inflate one, so a
+        # node that ever measures CPU-bound stays CPU-bound (until a
+        # reconfiguration swaps the graph out from under the label).
+        wall = end - start
+        self._cpu_bound[node_id] = (
+            self._cpu_bound.get(node_id, False)
+            or wall < 1e-6
+            or cpu >= 0.5 * wall
+        )
+        for qname, event in events:
+            self.broker.post(qname, event)
+        for instance_id, delta in state_updates.items():
+            component = self.host.live.get(instance_id)
+            if component is not None:
+                component.merge_state(delta)
+        if stop:
+            self.scheduler.request_stop()
+        if self.tracer.enabled:
+            self.tracer.record(
+                TraceEvent(
+                    node_id=node_id,
+                    iteration=iteration,
+                    worker=worker,
+                    start=start,
+                    end=end,
+                    kind="task",
+                )
+            )
+        if unused_grants is not None:
+            # Final record of the lease: consumed grants became outputs
+            # (stream-owned now), unconsumed ones go back to the pool.
+            if lease.done != len(lease.jobs):
+                raise SchedulingError(
+                    f"worker {worker} finished its lease after "
+                    f"{lease.done} of {len(lease.jobs)} record(s)"
+                )
+            self._busy.pop(worker)
+            self._granted.pop(worker, None)
+            self._deadlines.pop(worker, None)
+            for ref in unused_grants:
+                self.pool.release(ref)
+            self._idle.add(worker)
+        elif self.watchdog is not None:
+            # Per-job budget: the next lease member gets a fresh window.
+            self._deadlines[worker] = time.perf_counter() + self.watchdog
+        self._complete(job)
 
     def _rpc_reply(self, worker: int, value: Any) -> None:
         try:
@@ -865,27 +1430,45 @@ class ProcessRuntime:
         self._conns = [None] * self.workers  # type: ignore[list-item]
         self._procs = [None] * self.workers
         self._incarnation = [-1] * self.workers
+        self._dormant = self.workers  # slots never forked
+        # Worker 0 starts eagerly (every run uses at least one); the
+        # remaining slots fork lazily, on the first dispatch that finds
+        # no idle worker.  A run whose work the oversubscription guard
+        # keeps consolidated (CPU-bound apps on a host with fewer cores
+        # than workers) then never pays the spawn cost of workers it
+        # would not benefit from.
+        self._spawn_one(0)
+
+    def _unspawned_slot(self) -> int | None:
+        """Lowest worker slot that has never been forked, if any."""
+        if not self._dormant:
+            return None
         for slot in range(self.workers):
-            self._spawn_one(slot)
+            if self._incarnation[slot] == -1:
+                return slot
+        return None
 
     def _spawn_one(self, slot: int) -> None:
         """(Re)start the worker in ``slot``.
 
-        A respawned worker forks from *current* dispatcher state, so the
-        present option states are baked into its graph; parameter
-        reconfigurations broadcast earlier are replayed from the log
-        because worker mirrors are built fresh from instance descriptors.
+        A respawned worker forks from *current* dispatcher state, so it
+        inherits the dispatcher's present (already-grouped) graph
+        outright; parameter reconfigurations broadcast earlier are
+        replayed from the log because worker mirrors are built fresh
+        from instance descriptors.
         Fork children exit via ``os._exit`` (multiprocessing bootstrap),
         so the dispatcher pool copy they inherit never runs finalizers —
         a respawn cannot unlink live shared segments.
         """
         parent, child = self._ctx.Pipe()
+        if self._incarnation[slot] == -1:
+            self._dormant -= 1
         incarnation = self._next_incarnation
         self._next_incarnation += 1
         proc = self._ctx.Process(
             target=_worker_entry,
-            args=(child, self.program, self.registry,
-                  dict(self.pg.option_states), self.group_chains, slot),
+            args=(child, self.program, self.registry, self.pg,
+                  self.group_chains, slot),
             name=f"hinch-proc-worker-{slot}.{incarnation}",
             daemon=True,
         )
@@ -944,13 +1527,20 @@ class ProcessRuntime:
         self._live.discard(slot)
         self._idle.discard(slot)
         incarnation = self._incarnation[slot]
-        job = self._busy.pop(slot, None)
+        lease = self._busy.pop(slot, None)
         self._deadlines.pop(slot, None)
-        # Planes leased mid-job die with the worker: back to the free
-        # lists (their content is garbage, but so is any recycled plane
-        # before its next write).
+        # Planes leased mid-job — RPC-allocated or granted — die with the
+        # worker: back to the free lists (their content is garbage, but
+        # so is any recycled plane before its next write).
         for ref in self._leases.pop(slot, ()):
             self.pool.release(ref)
+        for ref in self._granted.pop(slot, ()):
+            self.pool.release(ref)
+        # Any resident slot this worker held is gone; future leases must
+        # ship those planes again from the dispatcher-held stream slots.
+        for holders in self._resident.values():
+            for workers in holders.values():
+                workers.discard(slot)
         try:
             self._conns[slot].close()
         except Exception:
@@ -959,51 +1549,89 @@ class ProcessRuntime:
         if proc is not None and proc.is_alive():
             proc.kill()  # SIGKILL: a wedged kernel may ignore SIGTERM
             proc.join(timeout=5)
+        pending = (
+            list(zip(lease.jobs, lease.speculative))[lease.done:]
+            if lease is not None else []
+        )
+        head = pending[0][0] if pending else None
         self._record_fault(
             "watchdog_kill" if watchdog else "worker_failure",
-            slot, incarnation, job, reason,
+            slot, incarnation, head, reason,
         )
-        if job is not None:
-            key = (job.iteration, job.node_id)
-            attempts = self._attempts.get(key, 0) + 1
-            self._attempts[key] = attempts
-            self._excluded.setdefault(key, set()).add(incarnation)
-            if attempts > self.max_retries:
-                raise WorkerFailure(
-                    f"job {job.node_id}@{job.iteration} lost its worker "
-                    f"{attempts} time(s) (last: worker {slot}, {reason}); "
-                    f"retry budget max_retries={self.max_retries} exhausted",
-                    worker=slot,
-                    job=key,
-                )
-            self.scheduler.requeue(job)
-            self.queue.push_front(job)
-            self._record_fault("retry", slot, incarnation, job,
-                               f"attempt {attempts + 1}")
+        if pending:
+            # Records acknowledged before the death are final (their
+            # outputs, events and checkpoint deltas are applied exactly
+            # once); only members from ``lease.done`` onward never ran.
+            # Walk them back to front so push_front restores the
+            # original FIFO order.  Speculative members never became
+            # queue-visible — retracting them re-arms the normal
+            # readiness path (the retried predecessors re-emit them on
+            # completion) and charges them no retry attempt.
+            for job, speculative in reversed(pending):
+                if speculative:
+                    # The retracted job may already be ready — its lease
+                    # predecessors acknowledged before the death — in
+                    # which case no future completion re-emits it and it
+                    # must be requeued here, in its lease position.
+                    for ready in self.scheduler.retract(job):
+                        self.queue.push_front(ready)
+                    continue
+                key = (job.iteration, job.node_id)
+                attempts = self._attempts.get(key, 0) + 1
+                self._attempts[key] = attempts
+                self._excluded.setdefault(key, set()).add(incarnation)
+                if attempts > self.max_retries:
+                    raise WorkerFailure(
+                        f"job {job.node_id}@{job.iteration} lost its worker "
+                        f"{attempts} time(s) (last: worker {slot}, "
+                        f"{reason}); retry budget "
+                        f"max_retries={self.max_retries} exhausted",
+                        worker=slot,
+                        job=key,
+                    )
+                self.scheduler.requeue(job)
+                self.queue.push_front(job)
+                self._record_fault("retry", slot, incarnation, job,
+                                   f"attempt {attempts + 1}")
         if self.respawn:
             self._spawn_one(slot)
             self._respawns += 1
             self._record_fault("respawn", slot, self._incarnation[slot],
                                None, f"replacing incarnation {incarnation}")
         elif not self._live:
-            raise WorkerFailure(
-                f"worker {slot} failed ({reason}) and no worker remains "
-                "(respawn disabled)",
-                worker=slot,
-                job=(job.iteration, job.node_id) if job else None,
-            )
+            fresh = self._unspawned_slot()
+            if fresh is not None:
+                # Not a respawn: this slot was budgeted but never forked
+                # (lazy spawn).  Bringing it up preserves the configured
+                # degraded capacity.
+                self._spawn_one(fresh)
+                self._record_fault("degrade", slot, incarnation, None,
+                                   "1 worker(s) remain")
+            else:
+                raise WorkerFailure(
+                    f"worker {slot} failed ({reason}) and no worker "
+                    "remains (respawn disabled)",
+                    worker=slot,
+                    job=(head.iteration, head.node_id) if head else None,
+                )
         else:
             self._record_fault("degrade", slot, incarnation, None,
                                f"{len(self._live)} worker(s) remain")
 
     # -- main loop helpers ---------------------------------------------------
 
-    def _wait_timeout(self) -> float:
+    def _wait_timeout(self) -> float | None:
+        """Timeout for the dispatcher's connection wait.
+
+        ``None`` — block indefinitely — whenever no watchdog deadline is
+        armed: worker death wakes the wait through the process sentinel,
+        so a periodic heartbeat poll would be pure idle spinning.  With a
+        deadline armed, wake exactly when the earliest one expires.
+        """
         deadline = min(self._deadlines.values(), default=None)
         if deadline is None:
-            return self._HEARTBEAT
-        return max(0.0, min(self._HEARTBEAT,
-                            deadline - time.perf_counter()))
+            return None
+        return max(0.0, deadline - time.perf_counter())
 
     def _service_conn(self, slot: int) -> None:
         """Drain every buffered message from one worker's pipe.
@@ -1072,11 +1700,15 @@ class ProcessRuntime:
             deadline = self._deadlines.get(slot)
             if deadline is None or deadline > now:
                 continue
-            job = self._busy[slot]
+            lease = self._busy[slot]
+            current = lease.jobs[lease.done]
+            desc = f"{current.node_id}@{current.iteration}"
+            remaining = len(lease.jobs) - lease.done - 1
+            if remaining:
+                desc += f" (+{remaining} batched)"
             self._worker_failed(
                 slot,
-                f"watchdog: {job.node_id}@{job.iteration} exceeded "
-                f"{self.watchdog:.3g}s",
+                f"watchdog: {desc} exceeded {self.watchdog:.3g}s",
                 watchdog=True,
             )
 
@@ -1118,9 +1750,11 @@ class ProcessRuntime:
                         # drained without effect.
                 except (EOFError, OSError):
                     pass
-        for slot in range(len(self._conns)):
+        for conn in self._conns:
+            if conn is None:
+                continue
             try:
-                self._conns[slot].close()
+                conn.close()
             except Exception:
                 pass
         for proc in self._procs:

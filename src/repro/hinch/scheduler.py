@@ -237,6 +237,150 @@ class DataflowScheduler:
             )
         self._retries += 1
 
+    def extract_followons(self, lease, limit, is_eligible=None,
+                          pipeline_only=False, is_chainable=None):
+        """Speculatively extend a job lease along the dataflow (batching).
+
+        Given ``lease`` — jobs about to be shipped to one worker — return
+        up to ``limit`` additional jobs whose *only* missing dependencies
+        are earlier members of the (extended) lease: successors within an
+        iteration (grouped-chain tails, fan-out consumers whose other
+        inputs are already done) and the same node in the next admitted
+        iteration (pipeline extension).  Because the queue's readiness
+        invariant means a producer and its consumer are never queued
+        together, batching deeper than one job per dependency chain is
+        only possible speculatively — the worker runs the lease in order,
+        so the data dependencies hold worker-locally.
+
+        Chosen jobs are marked ``dispatched`` immediately: the real
+        completions of their lease predecessors will decrement in-degrees
+        as usual but not re-emit them.  If the worker dies mid-lease the
+        runtime calls :meth:`retract` for each speculative job, after
+        which the normal completion flow re-emits it.  Admission state is
+        never touched, so the ``pipeline_depth`` bound and reconfiguration
+        quiescence are exactly as at batch size 1.
+
+        ``is_eligible`` filters candidate node ids (the process runtime
+        excludes control nodes, which must run on the dispatcher).
+
+        ``pipeline_only`` restricts extension to the next-iteration jobs
+        of nodes already in the lease, skipping same-iteration
+        successors.  A node's consecutive iterations can never run
+        concurrently (iteration *k+1* waits for *k*), so chaining them
+        onto one worker forfeits no parallelism — whereas a successor
+        could have run on another worker once its readiness was
+        announced.  The process runtime uses this mode while idle
+        workers remain.
+
+        ``is_chainable`` refines that trade-off per node: when given (and
+        ``pipeline_only`` is false), a same-iteration successor is only
+        speculated if ``is_chainable(node_id)`` — the process runtime
+        passes its learned CPU-bound predicate here once physical cores
+        are saturated, so compute kernels chain (spreading them over more
+        workers than cores buys nothing) while blocking kernels still
+        spread.  Pipeline extensions are never filtered by it.
+        """
+        if limit <= 0:
+            return []
+        out: list[Job] = []
+        assumed: set[tuple[int, str]] = {
+            (j.iteration, j.node_id) for j in lease
+        }
+        hyp_remaining: dict[tuple[int, str], int] = {}
+        hyp_last: dict[str, int] = {}
+        frontier = list(lease)
+        while frontier and len(out) < limit:
+            next_frontier: list[Job] = []
+            for job in frontier:
+                if len(out) >= limit:
+                    break
+                iteration, node_id = job.iteration, job.node_id
+                hyp_last[node_id] = max(
+                    hyp_last.get(node_id, self._last_done[node_id]), iteration
+                )
+                state = self._iters.get(iteration)
+                if state is not None and not pipeline_only:
+                    for succ in self._succ[node_id]:
+                        key = (iteration, succ)
+                        left = hyp_remaining.get(key)
+                        if left is None:
+                            left = state.remaining[succ]
+                        left -= 1
+                        hyp_remaining[key] = left
+                        if (
+                            left == 0
+                            and succ not in state.dispatched
+                            and key not in assumed
+                            and hyp_last.get(succ, self._last_done[succ])
+                            == iteration - 1
+                            and (is_eligible is None or is_eligible(succ))
+                            and (is_chainable is None or is_chainable(succ))
+                        ):
+                            state.dispatched.add(succ)
+                            assumed.add(key)
+                            cand = Job(iteration=iteration, node_id=succ)
+                            out.append(cand)
+                            next_frontier.append(cand)
+                            if len(out) >= limit:
+                                break
+                nxt = self._iters.get(iteration + 1)
+                if nxt is not None and len(out) < limit:
+                    key = (iteration + 1, node_id)
+                    left = hyp_remaining.get(key, nxt.remaining[node_id])
+                    if (
+                        left == 0
+                        and node_id not in nxt.dispatched
+                        and key not in assumed
+                        and hyp_last[node_id] == iteration
+                        and (is_eligible is None or is_eligible(node_id))
+                    ):
+                        nxt.dispatched.add(node_id)
+                        assumed.add(key)
+                        cand = Job(iteration=iteration + 1, node_id=node_id)
+                        out.append(cand)
+                        next_frontier.append(cand)
+            frontier = next_frontier
+        return out
+
+    def retract(self, job: Job) -> list[Job]:
+        """Un-dispatch a speculative lease job whose worker died.
+
+        Records stream back per job in lease order, so a dead worker's
+        unacknowledged speculative members are known never to have run;
+        clearing the ``dispatched`` mark restores the normal readiness
+        path.  The job's *dependencies*, however, may already be done —
+        earlier lease members acknowledge individually, and a producer's
+        completion lands before the worker dies on a later member — in
+        which case no future :meth:`complete` call will ever touch this
+        job again.  Readiness is therefore re-checked here: the returned
+        jobs (the retracted job itself, at most) are ready *now* and
+        must be requeued by the caller; an empty list means a retried
+        predecessor will re-emit it through :meth:`complete` as usual.
+        """
+        state = self._iters.get(job.iteration)
+        if state is None:
+            raise SchedulingError(
+                f"retract for unknown iteration {job.iteration} ({job.node_id})"
+            )
+        if job.node_id in state.done:
+            raise SchedulingError(
+                f"retract for completed job {job.node_id}@{job.iteration}"
+            )
+        if job.node_id not in state.dispatched:
+            raise SchedulingError(
+                f"retract for undispatched job {job.node_id}@{job.iteration}"
+            )
+        state.dispatched.discard(job.node_id)
+        ready: list[Job] = []
+        self._check_ready(job.node_id, job.iteration, ready)
+        return ready
+
+    @property
+    def lowest_live_iteration(self) -> int | None:
+        """The oldest in-flight iteration (stream slots below it are
+        released); ``None`` when the graph is quiescent."""
+        return min(self._iters, default=None)
+
     def request_reconfig(self, plan: ReconfigPlan) -> None:
         """Queue a reconfiguration; admission halts until it is applied."""
         self._pending_plans.append(plan)

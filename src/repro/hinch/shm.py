@@ -88,6 +88,10 @@ class PoolStats:
     #: ndarray values packed without any pickling at all
     plane_packs: int = 0
     pickle_packs: int = 0
+    #: free-list planes handed out as dispatch-time grants
+    #: (:meth:`SharedPlanePool.try_acquire_free`) — a grant consumed by a
+    #: worker replaces one alloc RPC round-trip on the control pipe
+    granted: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -161,6 +165,31 @@ class SharedPlanePool:
         else:
             name = self._create(bucket)
         return PlaneRef(segment=name, nbytes=nbytes)
+
+    @staticmethod
+    def bucket_of(nbytes: int) -> int:
+        """The free-list bucket a payload of ``nbytes`` recycles through."""
+        return _round_size(nbytes)
+
+    def try_acquire_free(self, nbytes: int) -> PlaneRef | None:
+        """A plane from the free list only — never creates (grant path).
+
+        The dispatcher attaches such planes to job leases so workers can
+        satisfy predicted allocations without an RPC.  Creation stays on
+        the demand-driven :meth:`acquire` path, so granting cannot grow
+        the pool beyond the ``pipeline_depth`` working-set bound.
+        """
+        if self._closed:
+            return None
+        bucket = _round_size(nbytes)
+        free = self._free.get(bucket)
+        if not free:
+            return None
+        name = free.pop()
+        self.stats.acquires += 1
+        self.stats.recycled += 1
+        self.stats.granted += 1
+        return PlaneRef(segment=name, nbytes=bucket)
 
     def release(self, ref: PlaneRef) -> None:
         """Return a plane to the free list (owner process, idempotent-safe)."""
