@@ -26,7 +26,7 @@ lint:
 	else \
 		echo "ruff not installed; skipping style lint"; \
 	fi
-	PYTHONPATH=src $(PYTHON) -m repro lint examples/specs/*.xml
+	PYTHONPATH=src $(PYTHON) -m repro lint examples/specs/*.xml --fail-on error
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

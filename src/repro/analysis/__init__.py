@@ -38,9 +38,10 @@ __all__ = [
     "lint_spec",
     "lint_file",
     "lint_string",
+    "solve_formats",
 ]
 
-_ENGINE_EXPORTS = ("lint_spec", "lint_file", "lint_string")
+_ENGINE_EXPORTS = ("lint_spec", "lint_file", "lint_string", "solve_formats")
 
 
 def __getattr__(name: str):

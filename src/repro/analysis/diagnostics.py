@@ -6,7 +6,8 @@ over the AST and the expanded program and reports **every** finding in one
 run, each tagged with
 
 * a stable **code** (``X1xx`` validation, ``X2xx`` liveness/dead-flow,
-  ``X3xx`` concurrency/safety, ``X4xx`` performance lint),
+  ``X3xx`` concurrency/safety, ``X4xx`` performance lint, ``X5xx``
+  interface/format reconciliation),
 * a **severity** (info < warning < error),
 * and, where the spec came from XML, the **source line** of the
   offending element.
@@ -59,7 +60,7 @@ class CodeInfo:
 
     code: str
     severity: Severity
-    family: str  # validation | liveness | concurrency | performance
+    family: str  # validation | liveness | concurrency | performance | formats
     title: str
 
 
@@ -98,6 +99,7 @@ CODES: dict[str, CodeInfo] = _catalogue(
     ("X116", _E, "validation", "init params violate the class schema"),
     ("X117", _E, "validation", "param default must be a literal"),
     ("X118", _E, "validation", "expansion failed"),
+    ("X119", _E, "validation", "malformed port format declaration"),
     # -- X2xx: liveness / dead flow ---------------------------------------
     ("X201", _W, "liveness", "procedure unreachable from 'main'"),
     ("X202", _W, "liveness", "unused stream formal"),
@@ -119,9 +121,17 @@ CODES: dict[str, CodeInfo] = _catalogue(
     ("X403", _I, "performance", "component class has no cost profile"),
     ("X404", _W, "performance", "slice replication exceeds the machine node count"),
     ("X405", _W, "performance", "forward handlers cycle an event between queues"),
+    # -- X5xx: interface reconciliation (format solving) -------------------
+    ("X501", _E, "formats", "producer/consumer format mismatch"),
+    ("X502", _E, "formats", "unsolvable symbolic dimension"),
+    ("X503", _E, "formats", "slice block does not divide a declared dimension"),
+    ("X504", _W, "formats", "lossy format mismatch, auto-convertible"),
+    ("X505", _I, "formats", "undeclared port format, falling back to inference"),
 )
 
-FAMILIES: tuple[str, ...] = ("validation", "liveness", "concurrency", "performance")
+FAMILIES: tuple[str, ...] = (
+    "validation", "liveness", "concurrency", "performance", "formats",
+)
 
 
 @dataclass(frozen=True)
@@ -242,9 +252,13 @@ def render_text(diagnostics: list[Diagnostic]) -> str:
     return "\n".join(lines)
 
 
-def render_json(diagnostics: list[Diagnostic]) -> str:
-    """Machine-readable report (stable schema, used by --format json)."""
-    payload = {
+def render_json(diagnostics: list[Diagnostic], *, formats: object = None) -> str:
+    """Machine-readable report (stable schema, used by --format json).
+
+    ``formats``, when given (``--show-formats``), is appended verbatim as
+    a ``"formats"`` key: the per-configuration solved format tables.
+    """
+    payload: dict = {
         "diagnostics": [d.to_dict() for d in diagnostics],
         "summary": {
             "errors": sum(1 for d in diagnostics if d.severity >= Severity.ERROR),
@@ -255,4 +269,6 @@ def render_json(diagnostics: list[Diagnostic]) -> str:
             "total": len(diagnostics),
         },
     }
+    if formats is not None:
+        payload["formats"] = formats
     return json.dumps(payload, indent=2)

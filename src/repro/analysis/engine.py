@@ -26,7 +26,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Mapping
 
-from repro.analysis import concurrency, liveness, perf
+from repro.analysis import concurrency, formats, liveness, perf
 from repro.analysis.diagnostics import Diagnostic, DiagnosticBag
 from repro.core.ast import ParallelNode, Spec, walk_body
 from repro.core.expander import expand
@@ -35,7 +35,13 @@ from repro.core.validator import collect_diagnostics
 from repro.core.ports import PortSpec
 from repro.errors import ParseError, ReproError
 
-__all__ = ["lint_spec", "lint_string", "lint_file", "reachable_configurations"]
+__all__ = [
+    "lint_spec",
+    "lint_string",
+    "lint_file",
+    "reachable_configurations",
+    "solve_formats",
+]
 
 #: Safety valve: stop enumerating configurations beyond this many states.
 MAX_CONFIGURATIONS = 64
@@ -84,6 +90,25 @@ def _config_context(states: Mapping[str, bool], default: Mapping[str, bool]) -> 
         f"{name}={'on' if on else 'off'}" for name, on in sorted(diff.items())
     )
     return f" [configuration: {flips}]"
+
+
+def solve_formats(program) -> list:
+    """Solved per-stream formats for every reachable configuration.
+
+    Returns a list of :class:`repro.analysis.formats.FormatSolution`, one
+    per reachable option configuration (first is the default), skipping
+    configurations whose graphs fail to splice.  Diagnostics are
+    discarded — use :func:`lint_spec` for those.
+    """
+    solutions = []
+    for states in reachable_configurations(program):
+        try:
+            pg = program.build_graph(states, check=False)
+        except ReproError:
+            continue
+        bag = DiagnosticBag()
+        solutions.append(formats.check_formats(bag, program, pg))
+    return solutions
 
 
 def _crossdep_lines(spec: Spec) -> tuple[int | None, ...]:
@@ -146,6 +171,7 @@ def lint_spec(
         concurrency.check_configuration(
             bag, program, pg, context=context, crossdep_lines=crossdep_lines
         )
+        formats.check_formats(bag, program, pg, context=context)
         if not context:
             default_pg = pg
 

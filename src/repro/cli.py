@@ -86,12 +86,62 @@ def cmd_lint(args: argparse.Namespace) -> int:
             lint_file(path, ports=ports, classes=classes,
                       machine_nodes=args.nodes)
         )
+    formats = _solved_formats(args.specs) if args.show_formats else None
     if args.format == "json":
-        print(render_json(diagnostics))
+        print(render_json(diagnostics, formats=formats))
     else:
         print(render_text(diagnostics))
+        if formats is not None:
+            _print_format_tables(formats)
     threshold = Severity.parse(args.fail_on)
     return 1 if any(d.severity >= threshold for d in diagnostics) else 0
+
+
+def _solved_formats(specs: list[str]) -> dict:
+    """Per-spec solved format tables for ``lint --show-formats``."""
+    from repro.analysis import solve_formats
+
+    tables: dict = {}
+    for path in specs:
+        try:
+            program = _load_program(path)
+        except ReproError:
+            continue  # lint already reported why
+        tables[path] = [
+            {
+                "options": solution.option_states,
+                "streams": {
+                    name: solved.to_dict()
+                    for name, solved in sorted(solution.streams.items())
+                },
+            }
+            for solution in solve_formats(program)
+        ]
+    return tables
+
+
+def _print_format_tables(formats: dict) -> None:
+    for path, solutions in formats.items():
+        for solution in solutions:
+            options = solution["options"]
+            label = (
+                ", ".join(f"{k}={'on' if v else 'off'}"
+                          for k, v in sorted(options.items()))
+                or "default"
+            )
+            print(f"\n{path}: solved formats [{label}]")
+            for name, fmt in solution["streams"].items():
+                shape = (
+                    "x".join(str(d) for d in fmt["shape"])
+                    if fmt["shape"] is not None
+                    else "?"
+                )
+                origin = "declared" if fmt["declared"] else "inferred"
+                print(
+                    f"  {name:28s} kind={fmt['kind'] or '?':9s} "
+                    f"dtype={fmt['dtype'] or '?':8s} shape={shape:12s} "
+                    f"colorspace={fmt['colorspace'] or '?':6s} ({origin})"
+                )
 
 
 def _walk(body):
@@ -119,8 +169,15 @@ def cmd_expand(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.components.registry import default_registry
 
+    impls: dict[str, str] = {}
+    for pick in args.impl or ():
+        name, sep, impl = pick.partition("=")
+        if not sep or not name or not impl:
+            print(f"--impl expects name=impl, got {pick!r}", file=sys.stderr)
+            return 2
+        impls[name] = impl
     program = _load_program(args.spec)
-    registry = default_registry()
+    registry = default_registry(impls=impls or None)
     workers = args.workers if args.workers is not None else args.nodes
     if args.backend == "threaded":
         from repro.hinch import ThreadedRuntime
@@ -397,6 +454,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=None,
                    help="target machine node count; enables the "
                         "over-slicing lint (X404)")
+    p.add_argument("--show-formats", action="store_true",
+                   help="append the solved per-stream format table for "
+                        "every reachable configuration (X5xx pass)")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("expand", help="expand and summarize an application")
@@ -435,6 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-respawn", action="store_true",
                    help="process backend: degrade onto surviving workers "
                         "instead of respawning dead ones")
+    p.add_argument("--impl", action="append", metavar="NAME=IMPL",
+                   help="pick a registered implementation for a component "
+                        "class, e.g. --impl downscale_field=strided "
+                        "(repeatable; see docs/formats.md)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("predict", help="analytic performance estimate")

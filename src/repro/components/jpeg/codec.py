@@ -133,6 +133,9 @@ class EncodedPlane:
 class EncodedFrame:
     """One compressed frame (3 planes) — an 'MJPEG file' record."""
 
+    #: format ``kind=`` this payload satisfies (interface reconciliation)
+    FORMAT_KIND = "bitstream"
+
     y: EncodedPlane
     u: EncodedPlane
     v: EncodedPlane
@@ -164,6 +167,9 @@ class EncodedFrame:
 @dataclass
 class PlaneCoefficients:
     """Dequantized DCT coefficients: output of the entropy decoder."""
+
+    #: format ``kind=`` this payload satisfies (interface reconciliation)
+    FORMAT_KIND = "coeffs"
 
     width: int
     height: int

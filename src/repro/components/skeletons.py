@@ -133,6 +133,10 @@ class MapPlane(Component):
         outputs=("output",),
         required_params=("width", "height", "kernel"),
         open_params=True,  # kernel-specific parameters pass through
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
 
     @classmethod
@@ -172,6 +176,10 @@ class StencilPlane(Component):
         required_params=("width", "height", "kernel"),
         optional_params=("halo",),
         open_params=True,
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
 
     @classmethod
@@ -227,6 +235,10 @@ class ReducePlane(Component):
         inputs=("input",),
         outputs=("output",),
         required_params=("width", "height", "op"),
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=scalar",
+        },
     )
 
     @classmethod
@@ -263,6 +275,10 @@ class Monitor(Component):
         required_params=("width", "height", "op", "threshold", "queue",
                          "event"),
         optional_params=("direction",),
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
 
     @classmethod

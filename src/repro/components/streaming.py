@@ -42,9 +42,11 @@ __all__ = [
     "JpegDecode",
     "IdctField",
     "DownscaleField",
+    "DownscaleFieldStrided",
     "BlendField",
     "BlurHField",
     "BlurVField",
+    "ConvertPlane",
     "VideoSink",
     "PlaneSink",
     "TimerSource",
@@ -117,6 +119,11 @@ class VideoSource(Component):
         outputs=("y", "u", "v"),
         required_params=("width", "height"),
         optional_params=("seed", "detail", "motion", "frames"),
+        formats={
+            "y": "kind=plane shape=height,width dtype=uint8 colorspace=y",
+            "u": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=u",
+            "v": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=v",
+        },
     )
     READ_CYCLES_PER_BYTE = 0.4  # DMA-in from the file/capture device
 
@@ -168,6 +175,9 @@ class LumaSource(VideoSource):
         outputs=("output",),
         required_params=("width", "height"),
         optional_params=("seed", "detail", "motion", "frames"),
+        formats={
+            "output": "kind=plane shape=height,width dtype=uint8 colorspace=y",
+        },
     )
 
     @classmethod
@@ -189,6 +199,7 @@ class MjpegSource(Component):
         outputs=("output",),
         required_params=("width", "height"),
         optional_params=("seed", "detail", "motion", "frames", "quality", "ratio"),
+        formats={"output": "kind=bitstream"},
     )
     READ_CYCLES_PER_BYTE = 0.4
     #: assumed compression ratio (compressed/raw) for the cost profile
@@ -275,6 +286,12 @@ class JpegDecode(Component):
         outputs=("coeffs_y", "coeffs_u", "coeffs_v"),
         required_params=("width", "height"),
         optional_params=("ratio",),
+        formats={
+            "input": "kind=bitstream",
+            "coeffs_y": "kind=coeffs shape=height,width colorspace=y",
+            "coeffs_u": "kind=coeffs shape=height/2,width/2 colorspace=u",
+            "coeffs_v": "kind=coeffs shape=height/2,width/2 colorspace=v",
+        },
     )
     CYCLES_PER_COMPRESSED_BYTE = 55.0  # serial Huffman + RLE + dequant
 
@@ -309,6 +326,11 @@ class IdctField(Component, _SlicedMixin):
         inputs=("coeffs",),
         outputs=("output",),
         required_params=("width", "height"),
+        formats={
+            "coeffs": "kind=coeffs shape=height,width colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=uint8 "
+                      "colorspace=?c block=8",
+        },
     )
     CYCLES_PER_PIXEL = 10.0  # 8x8 IDCT amortized per pixel
 
@@ -347,6 +369,11 @@ class DownscaleField(Component, _SlicedMixin):
         inputs=("input",),
         outputs=("output",),
         required_params=("width", "height", "factor"),
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height/factor,width/factor "
+                      "dtype=?T colorspace=?c",
+        },
     )
     CYCLES_PER_INPUT_PIXEL = 3.0  # box accumulate + divide
 
@@ -376,6 +403,31 @@ class DownscaleField(Component, _SlicedMixin):
         job.note_written((hi - lo) * (w // factor))
 
 
+class DownscaleFieldStrided(DownscaleField):
+    """Alternative ``downscale_field`` implementation: strided accumulation.
+
+    Sums each factor x factor box one strided view at a time instead of
+    one big reshape — the loop structure a CE DSP streaming row-by-row
+    would use.  Same integer math as the reference implementation, so the
+    output is bit-identical; registered as impl ``strided`` of the
+    ``downscale_field`` family.
+    """
+
+    def run(self, job: JobContext) -> None:
+        src: np.ndarray = job.read("input")
+        factor = int(self.require_param("factor"))
+        h, w = src.shape
+        oh, ow = h // factor, w // factor
+        out = job.buffer("output", shape=(oh, ow), dtype=src.dtype)
+        lo, hi = self.rows(oh)
+        acc = np.zeros((hi - lo, ow), dtype=np.uint32)
+        for dr in range(factor):
+            for dc in range(factor):
+                acc += src[lo * factor + dr : hi * factor : factor, dc::factor]
+        out[lo:hi] = (acc // (factor * factor)).astype(src.dtype)
+        job.note_written((hi - lo) * ow)
+
+
 class BlendField(Component, _SlicedMixin):
     """Picture-in-picture blender for one plane.
 
@@ -390,6 +442,13 @@ class BlendField(Component, _SlicedMixin):
         required_params=("width", "height"),
         optional_params=("pos_row", "pos_col", "alpha", "overlay_width",
                          "overlay_height"),
+        formats={
+            "background": "kind=plane shape=height,width dtype=?T "
+                          "colorspace=?c",
+            "overlay": "kind=plane shape=overlay_height,overlay_width "
+                       "dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
     CYCLES_PER_PIXEL = 1.5  # copy + conditional overlay write
 
@@ -433,12 +492,63 @@ class BlendField(Component, _SlicedMixin):
         job.note_written((hi - lo) * background.shape[1])
 
 
+class ConvertPlane(Component, _SlicedMixin):
+    """Dtype bridge between mismatched plane formats (X504's named fix).
+
+    Casts its input plane to the ``dtype`` parameter, optionally
+    pre-multiplying by ``scale`` — the converter the reconciliation pass
+    suggests for lossy-but-convertible dtype mismatches.  Preserves the
+    plane geometry and colorspace.
+    """
+
+    ports = PortSpec(
+        inputs=("input",),
+        outputs=("output",),
+        required_params=("dtype",),
+        optional_params=("scale", "width", "height"),
+        formats={
+            "input": "kind=plane shape=?h,?w colorspace=?c",
+            "output": "kind=plane shape=?h,?w dtype=dtype colorspace=?c",
+        },
+    )
+    CYCLES_PER_PIXEL = 1.0  # cast + optional multiply
+
+    @classmethod
+    def cost_profile(cls, instance: ComponentInstance) -> JobCost:
+        w = int(instance.params.get("width", 0))
+        h = int(instance.params.get("height", 0))
+        pixels = w * h * _slice_fraction(instance)
+        return JobCost(
+            compute_cycles=cls.CYCLES_PER_PIXEL * pixels,
+            traffic=(
+                PortTraffic("input", int(pixels), False),
+                PortTraffic("output", int(pixels), True),
+            ),
+        )
+
+    def run(self, job: JobContext) -> None:
+        src: np.ndarray = job.read("input")
+        dtype = np.dtype(str(self.require_param("dtype")))
+        out = job.buffer("output", shape=src.shape, dtype=dtype)
+        lo, hi = self.rows(src.shape[0])
+        scale = self.param("scale")
+        view = src[lo:hi]
+        if scale is not None:
+            view = view * float(scale)
+        np.copyto(out[lo:hi], view, casting="unsafe")
+        job.note_written((hi - lo) * src.shape[1])
+
+
 class _BlurBase(Component, _SlicedMixin):
     ports = PortSpec(
         inputs=("input",),
         outputs=("output",),
         required_params=("width", "height", "size"),
         optional_params=("sigma",),
+        formats={
+            "input": "kind=plane shape=height,width dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
     CYCLES_PER_TAP_PIXEL = 2.0  # multiply-accumulate per kernel tap
 
@@ -498,6 +608,11 @@ class VideoSink(Component):
         inputs=("y", "u", "v"),
         required_params=("width", "height"),
         optional_params=("collect",),
+        formats={
+            "y": "kind=plane shape=height,width dtype=uint8 colorspace=y",
+            "u": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=u",
+            "v": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=v",
+        },
     )
     WRITE_CYCLES_PER_BYTE = 0.4
 
@@ -559,6 +674,9 @@ class PlaneSink(Component):
         inputs=("input",),
         required_params=("width", "height"),
         optional_params=("collect",),
+        formats={
+            "input": "kind=plane shape=height,width dtype=uint8 colorspace=?c",
+        },
     )
     WRITE_CYCLES_PER_BYTE = 0.4
 
@@ -619,6 +737,12 @@ class DownscaleBlendField(Component):
         outputs=("output",),
         required_params=("width", "height", "factor"),
         optional_params=("pos_row", "pos_col", "alpha"),
+        formats={
+            "background": "kind=plane shape=height,width dtype=?T "
+                          "colorspace=?c",
+            "overlay_hi": "kind=plane shape=*,* dtype=?T colorspace=?c",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
 
     @classmethod
@@ -666,6 +790,12 @@ class JpegDecodeIdct(Component):
         outputs=("y", "u", "v"),
         required_params=("width", "height"),
         optional_params=("ratio",),
+        formats={
+            "input": "kind=bitstream",
+            "y": "kind=plane shape=height,width dtype=uint8 colorspace=y",
+            "u": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=u",
+            "v": "kind=plane shape=height/2,width/2 dtype=uint8 colorspace=v",
+        },
     )
 
     @classmethod
@@ -704,6 +834,12 @@ class IdctDownscaleBlendField(Component):
         outputs=("output",),
         required_params=("width", "height", "factor", "src_width", "src_height"),
         optional_params=("pos_row", "pos_col", "alpha"),
+        formats={
+            "background": "kind=plane shape=height,width dtype=?T "
+                          "colorspace=?c",
+            "coeffs": "kind=coeffs shape=src_height,src_width",
+            "output": "kind=plane shape=height,width dtype=?T colorspace=?c",
+        },
     )
 
     @classmethod

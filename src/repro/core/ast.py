@@ -89,6 +89,13 @@ class ComponentNode:
     component registry; the coordination spec itself stays direction
     agnostic, which is what lets a component "not know to which other
     component(s) it is connected".
+
+    ``formats`` holds per-binding format overrides — the optional
+    ``format=`` attribute of ``<stream>`` — which replace the component
+    class's declared format for that port (grammar in
+    :mod:`repro.core.formats`).  ``stream_lines`` records each binding's
+    XML source line so format diagnostics point at the offending
+    ``<stream>`` element rather than the whole component.
     """
 
     name: str
@@ -97,7 +104,11 @@ class ComponentNode:
     params: dict[str, Value] = field(default_factory=dict)
     #: reconfiguration request delivered once, upon creation (paper §3.1)
     reconfigure: str | None = None
+    formats: dict[str, str] = field(default_factory=dict)
     line: int | None = field(default=None, compare=False, repr=False)
+    stream_lines: dict[str, int | None] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)

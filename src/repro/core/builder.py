@@ -96,6 +96,7 @@ class ProcedureBuilder:
         streams: Mapping[str, str] | None = None,
         params: Mapping[str, Value] | None = None,
         reconfigure: str | None = None,
+        formats: Mapping[str, str] | None = None,
     ) -> "ProcedureBuilder":
         self._stack[-1].append(
             ComponentNode(
@@ -104,6 +105,7 @@ class ProcedureBuilder:
                 streams=dict(streams or {}),
                 params=dict(params or {}),
                 reconfigure=reconfigure,
+                formats=dict(formats or {}),
             )
         )
         return self

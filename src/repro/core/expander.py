@@ -188,6 +188,12 @@ class _Expander:
             if comp.reconfigure is not None and "${" in comp.reconfigure
             else comp.reconfigure
         )
+        port_formats = {
+            port: self._subst_text(fmt, scope, f"{what} format {port!r}")
+            if "${" in fmt
+            else fmt
+            for port, fmt in comp.formats.items()
+        }
         instance = ComponentInstance(
             instance_id=instance_id,
             definition_id=definition_id,
@@ -198,7 +204,9 @@ class _Expander:
             reconfigure=reconfigure,
             manager=ctx.manager,
             options=ctx.options,
+            port_formats=port_formats,
             line=comp.line,
+            port_lines=dict(comp.stream_lines),
         )
         self.components[instance_id] = instance
         self._record_member(ctx, instance_id)

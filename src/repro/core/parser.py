@@ -109,6 +109,8 @@ def _parse_component(elem: ET.Element) -> ComponentNode:
     class_name = _require_attr(elem, "class")
     streams: dict[str, str] = {}
     params: dict[str, Value] = {}
+    formats: dict[str, str] = {}
+    stream_lines: dict[str, int | None] = {}
     reconfigure: str | None = None
     for child in elem:
         if child.tag == "stream":
@@ -117,6 +119,10 @@ def _parse_component(elem: ET.Element) -> ComponentNode:
             if port in streams:
                 raise _fail(child, f"duplicate stream binding for port {port!r}")
             streams[port] = ref
+            stream_lines[port] = _line(child)
+            fmt = child.get("format")
+            if fmt is not None:
+                formats[port] = fmt
         elif child.tag == "param":
             pname = _require_attr(child, "name")
             if pname in params:
@@ -134,7 +140,9 @@ def _parse_component(elem: ET.Element) -> ComponentNode:
         streams=streams,
         params=params,
         reconfigure=reconfigure,
+        formats=formats,
         line=_line(elem),
+        stream_lines=stream_lines,
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.formats import FormatDecl, parse_format
 from repro.errors import ComponentError
 
 __all__ = ["PortSpec"]
@@ -25,6 +26,11 @@ class PortSpec:
     ``optional_params`` those that may be.  An empty ``optional_params``
     with ``open_params=True`` accepts anything (useful for generic
     wrapper components).
+
+    ``formats`` maps port names to format declarations (see
+    :mod:`repro.core.formats` for the grammar).  Ports without an entry
+    fall back to first-write inference at runtime and draw an X505 info
+    from the format solver.
     """
 
     inputs: tuple[str, ...] = ()
@@ -32,6 +38,7 @@ class PortSpec:
     required_params: tuple[str, ...] = ()
     optional_params: tuple[str, ...] = ()
     open_params: bool = False
+    formats: dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         overlap = set(self.inputs) & set(self.outputs)
@@ -39,6 +46,17 @@ class PortSpec:
             raise ComponentError(
                 f"ports cannot be both input and output: {sorted(overlap)}"
             )
+        for port, decl in self.formats.items():
+            if port not in self.inputs and port not in self.outputs:
+                raise ComponentError(
+                    f"format declared for unknown port {port!r}"
+                )
+            parse_format(decl)  # raises FormatError on a bad declaration
+
+    def format_decl(self, port: str) -> FormatDecl | None:
+        """Parsed format declaration of ``port`` (None when undeclared)."""
+        decl = self.formats.get(port)
+        return parse_format(decl) if decl is not None else None
 
     @property
     def all_ports(self) -> tuple[str, ...]:

@@ -71,8 +71,14 @@ class ComponentInstance:
     reconfigure: str | None = None
     manager: str | None = None  # nearest enclosing manager (qualified)
     options: tuple[str, ...] = ()  # enclosing options, outermost first
+    #: per-binding format overrides (<stream format=...>), substituted
+    port_formats: dict[str, str] = field(default_factory=dict)
     #: XML source line of the defining <component> (diagnostics only)
     line: int | None = field(default=None, compare=False, repr=False)
+    #: XML source line of each <stream> binding (diagnostics only)
+    port_lines: dict[str, int | None] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
 
 @dataclass(frozen=True)

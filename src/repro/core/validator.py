@@ -43,6 +43,7 @@ from repro.core.ast import (
     Procedure,
     Spec,
 )
+from repro.core.formats import FormatError, parse_format
 from repro.core.ports import PortSpec
 from repro.errors import ComponentError, ValidationError
 
@@ -190,6 +191,29 @@ class _ProcedureChecker:
                 self.bag, self.proc, ref,
                 f"stream binding {port!r} of component {comp.name!r}", comp.line,
             )
+        for port, fmt in comp.formats.items():
+            line = comp.stream_lines.get(port, comp.line)
+            if port not in comp.streams:
+                self.bag.report(
+                    "X119",
+                    f"component {comp.name!r}: format declared for unbound "
+                    f"port {port!r}",
+                    line=line,
+                )
+                continue
+            _check_placeholders(
+                self.bag, self.proc, fmt,
+                f"format of port {port!r} of component {comp.name!r}", line,
+            )
+            if "${" not in fmt:
+                try:
+                    parse_format(fmt)
+                except FormatError as exc:
+                    self.bag.report(
+                        "X119",
+                        f"component {comp.name!r}, port {port!r}: {exc}",
+                        line=line,
+                    )
         for pname, value in comp.params.items():
             _check_placeholders(
                 self.bag, self.proc, value,

@@ -39,7 +39,10 @@ def _emit_body(parent: ET.Element, body: tuple[BodyNode, ...]) -> None:
                 parent, "component", name=node.name, **{"class": node.class_name}
             )
             for port, ref in node.streams.items():
-                ET.SubElement(elem, "stream", port=port, ref=ref)
+                attrs = {"port": port, "ref": ref}
+                if port in node.formats:
+                    attrs["format"] = node.formats[port]
+                ET.SubElement(elem, "stream", **attrs)
             for pname, value in node.params.items():
                 ET.SubElement(elem, "param", name=pname, value=_fmt(value))
             if node.reconfigure is not None:

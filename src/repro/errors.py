@@ -86,6 +86,35 @@ class StreamError(ReproError):
     """Stream protocol violation (double write, read-before-write, ...)."""
 
 
+class StreamFormatError(StreamError):
+    """A stream buffer diverged from its reconciled format.
+
+    Raised when a writer's geometry disagrees with the solved port
+    format the analysis pass (X5xx, ``repro.analysis.formats``)
+    established for the stream — or with the geometry another slice copy
+    already allocated.  Carries the full context so the failure can be
+    traced back to the offending XSPCL binding: the stream, the
+    iteration, the writing node, and the declared-vs-observed geometry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stream: str | None = None,
+        iteration: int | None = None,
+        node: str | None = None,
+        declared: tuple | None = None,
+        observed: tuple | None = None,
+    ) -> None:
+        self.stream = stream
+        self.iteration = iteration
+        self.node = node
+        self.declared = declared
+        self.observed = observed
+        super().__init__(message)
+
+
 class EventError(ReproError):
     """Event queue misuse (unknown queue, bad payload, ...)."""
 

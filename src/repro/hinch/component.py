@@ -204,7 +204,9 @@ class JobContext:
 
     def write(self, port: str, value: Any) -> None:
         """Write this iteration's value to an output port (whole value)."""
-        self._streams.stream(self._resolve(port)).put(self.iteration, value)
+        self._streams.stream(self._resolve(port)).put(
+            self.iteration, value, writer=self.instance.instance_id
+        )
         self.bytes_written += _nbytes(value)
 
     def buffer(
@@ -225,7 +227,8 @@ class JobContext:
         plane).
         """
         buf = self._streams.stream(self._resolve(port)).ensure_buffer(
-            self.iteration, factory, shape=shape, dtype=dtype
+            self.iteration, factory, shape=shape, dtype=dtype,
+            writer=self.instance.instance_id,
         )
         return buf
 

@@ -88,7 +88,12 @@ from typing import Any, Mapping, Sequence
 import numpy as np
 
 from repro.core.program import Program, ProgramGraph
-from repro.errors import SchedulingError, StreamError, WorkerFailure
+from repro.errors import (
+    SchedulingError,
+    StreamError,
+    StreamFormatError,
+    WorkerFailure,
+)
 from repro.hinch.component import Component, JobContext
 from repro.hinch.events import Event, EventBroker
 from repro.hinch.faults import FaultInjector, FaultSpec, coerce_injector
@@ -262,7 +267,9 @@ class _WorkerStream:
         ws.values[self.name] = value
         return value
 
-    def put(self, iteration: int, value: Any) -> None:
+    def put(
+        self, iteration: int, value: Any, *, writer: str | None = None
+    ) -> None:
         ws = self.ws
         if self.name in ws.outputs:
             raise StreamError(
@@ -278,6 +285,7 @@ class _WorkerStream:
         *,
         shape: tuple[int, ...] | None = None,
         dtype: Any = None,
+        writer: str | None = None,
     ) -> Any:
         ws = self.ws
         buf = ws.ensured.get(self.name)
@@ -286,11 +294,21 @@ class _WorkerStream:
             if tuple(shape) != buf.shape or (
                 want_dtype is not None and want_dtype != buf.dtype
             ):
-                raise StreamError(
+                raise StreamFormatError(
                     f"stream {self.name!r}: ensure_buffer geometry mismatch "
-                    f"in iteration {iteration}: requested "
+                    f"in iteration {iteration}: node "
+                    f"{ws.worker.current_node or '?'} requested "
                     f"{tuple(shape)}/{want_dtype}, slot already allocated "
-                    f"as {buf.shape}/{buf.dtype}"
+                    f"as {buf.shape}/{buf.dtype} (see lint codes X501/X503, "
+                    "`python -m repro lint`)",
+                    stream=self.name,
+                    iteration=iteration,
+                    node=ws.worker.current_node,
+                    declared=(buf.shape, buf.dtype.name),
+                    observed=(
+                        tuple(shape),
+                        want_dtype.name if want_dtype else None,
+                    ),
                 )
         if buf is None:
             if shape is None:
@@ -744,6 +762,12 @@ class ProcessRuntime:
         self, program: Program, option_states: Mapping[str, bool] | None
     ) -> ProgramGraph:
         pg = program.build_graph(option_states)
+        # Reconciled port formats become the streams' authoritative buffer
+        # expectations; recomputed per configuration so a splice installs
+        # the new solution.
+        from repro.analysis.formats import runtime_expectations
+
+        self.streams.set_expectations(runtime_expectations(program, pg))
         if self.group_chains:
             from repro.hinch.grouping import group_linear_chains
 
@@ -940,14 +964,22 @@ class ProcessRuntime:
             return None
         ensured: dict[str, PlaneRef] = {}
         for name, shape, dtype in profile:
-            ensured[name] = self._ensure_slot(name, iteration, shape, dtype)
+            ensured[name] = self._ensure_slot(
+                name, iteration, shape, dtype, node=node_id
+            )
             self._mark_resident(iteration, name, worker)
         return ensured
 
     def _ensure_slot(
-        self, name: str, iteration: int, shape: tuple, dtype: str
+        self,
+        name: str,
+        iteration: int,
+        shape: tuple,
+        dtype: str,
+        node: str | None = None,
     ) -> PlaneRef:
         stream = self.streams.stream(name)
+        stream.check_expected(iteration, tuple(shape), dtype, node)
         packed = stream.ensure_buffer(
             iteration,
             factory=lambda: self.pool.pack_plane(
@@ -960,11 +992,17 @@ class ProcessRuntime:
         if tuple(ref.shape) != tuple(shape) or np.dtype(ref.dtype) != np.dtype(
             dtype
         ):
-            raise StreamError(
+            raise StreamFormatError(
                 f"stream {name!r}: ensure_buffer geometry mismatch in "
-                f"iteration {iteration}: requested "
+                f"iteration {iteration}: node {node or '?'} requested "
                 f"{tuple(shape)}/{np.dtype(dtype)}, slot already "
-                f"allocated as {tuple(ref.shape)}/{np.dtype(ref.dtype)}"
+                f"allocated as {tuple(ref.shape)}/{np.dtype(ref.dtype)} "
+                "(see lint codes X501/X503, `python -m repro lint`)",
+                stream=name,
+                iteration=iteration,
+                node=node,
+                declared=(tuple(ref.shape), np.dtype(ref.dtype).name),
+                observed=(tuple(shape), np.dtype(dtype).name),
             )
         return ref
 
@@ -1268,7 +1306,9 @@ class ProcessRuntime:
             self._rpc_reply(worker, ref)
         elif tag == "rpc_ensure":
             _, node_id, name, iteration, shape, dtype = msg
-            ref = self._ensure_slot(name, iteration, tuple(shape), dtype)
+            ref = self._ensure_slot(
+                name, iteration, tuple(shape), dtype, node=node_id
+            )
             # Learn the node's ensure profile: from the next lease on,
             # the dispatcher resolves this slot at assembly and ships
             # the ref with the lease — no RPC round-trip.
@@ -1336,7 +1376,7 @@ class ProcessRuntime:
             self.streams.stream(name).get(iteration)
         demand: list[int] = []
         for name, packed in outputs.items():
-            self.streams.stream(name).put(iteration, packed)
+            self.streams.stream(name).put(iteration, packed, writer=node_id)
             self._mark_resident(iteration, name, worker)
             demand.extend(ref.nbytes for ref in packed.refs)
         self._demand[node_id] = demand

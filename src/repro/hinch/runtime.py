@@ -160,6 +160,12 @@ class ThreadedRuntime:
         self, program: Program, option_states: Mapping[str, bool] | None
     ) -> ProgramGraph:
         pg = program.build_graph(option_states)
+        # The reconciled port formats become each stream's authoritative
+        # buffer expectation (replacing first-write inference); recomputed
+        # here so reconfiguration installs the new configuration's solution.
+        from repro.analysis.formats import runtime_expectations
+
+        self.streams.set_expectations(runtime_expectations(program, pg))
         if self.group_chains:
             from repro.hinch.grouping import group_linear_chains
 

@@ -22,12 +22,12 @@ graph is caught loudly instead of producing garbage frames.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.errors import StreamError
-from repro.hinch.shm import PlaneRef, SharedPlanePool
+from repro.errors import StreamError, StreamFormatError
+from repro.hinch.shm import Packed, PlaneRef, SharedPlanePool
 
 __all__ = ["Stream", "StreamStore"]
 
@@ -52,16 +52,85 @@ class Stream:
         self._refs: dict[int, PlaneRef] = {}
         self._writes = 0
         self._reads = 0
+        #: solved (shape, dtype) from the format-reconciliation pass; when
+        #: set, writers are validated against it instead of trusting the
+        #: first write (X501/X503 territory at runtime)
+        self.expected: tuple[tuple[int, ...], np.dtype] | None = None
+        #: first-write geometry actually seen: ("plane", shape, dtype name)
+        #: for ndarrays, (kind, None, None) for opaque payloads
+        self.observed: tuple | None = None
+
+    def set_expected(self, shape: tuple[int, ...], dtype: Any) -> None:
+        """Install the reconciled format as this stream's authority."""
+        self.expected = (tuple(shape), np.dtype(dtype))
+
+    def _observe(self, value: Any) -> None:
+        if self.observed is not None:
+            return
+        if isinstance(value, np.ndarray):
+            self.observed = ("plane", tuple(value.shape), value.dtype.name)
+        elif isinstance(value, Packed):
+            # Process-backend transport descriptor: a bare plane exposes
+            # its geometry through the ref; pickled payloads stay opaque.
+            if value.kind == "plane" and value.refs:
+                ref = value.refs[0]
+                self.observed = (
+                    "plane", tuple(ref.shape), np.dtype(ref.dtype).name
+                )
+            else:
+                self.observed = ("packed", None, None)
+        else:
+            kind = getattr(value, "FORMAT_KIND", None) or getattr(
+                type(value), "FORMAT_KIND", None
+            )
+            if kind is None and isinstance(value, (int, float)):
+                kind = "scalar"
+            self.observed = (kind or type(value).__name__, None, None)
+
+    def check_expected(
+        self,
+        iteration: int,
+        shape: tuple[int, ...] | None,
+        dtype: Any,
+        writer: str | None,
+    ) -> None:
+        if self.expected is None or shape is None:
+            return
+        want_shape, want_dtype = self.expected
+        got_dtype = np.dtype(dtype) if dtype is not None else None
+        if tuple(shape) != want_shape or (
+            got_dtype is not None and got_dtype != want_dtype
+        ):
+            raise StreamFormatError(
+                f"stream {self.name!r}: ensure_buffer geometry mismatch in "
+                f"iteration {iteration}: node {writer or '?'} produced "
+                f"{tuple(shape)}/{got_dtype}, but the reconciled port format "
+                f"declares {want_shape}/{want_dtype} (see lint codes "
+                "X501/X503, `python -m repro lint`)",
+                stream=self.name,
+                iteration=iteration,
+                node=writer,
+                declared=(want_shape, want_dtype.name),
+                observed=(tuple(shape), got_dtype.name if got_dtype else None),
+            )
 
     # -- writer API ----------------------------------------------------------
 
-    def put(self, iteration: int, value: Any) -> None:
+    def put(self, iteration: int, value: Any, *, writer: str | None = None) -> None:
         """Write the whole value for ``iteration`` (unsliced writer)."""
         with self._lock:
             if iteration in self._slots:
                 raise StreamError(
                     f"stream {self.name!r}: double write in iteration {iteration}"
                 )
+            if isinstance(value, np.ndarray):
+                self.check_expected(iteration, value.shape, value.dtype, writer)
+            elif isinstance(value, Packed) and value.kind == "plane" and value.refs:
+                ref = value.refs[0]
+                self.check_expected(
+                    iteration, tuple(ref.shape), ref.dtype, writer
+                )
+            self._observe(value)
             self._slots[iteration] = value
             self._finalized.add(iteration)
             self._writes += 1
@@ -73,6 +142,7 @@ class Stream:
         *,
         shape: tuple[int, ...] | None = None,
         dtype: Any = None,
+        writer: str | None = None,
     ) -> Any:
         """Create-or-get the mutable slot buffer for a sliced writer.
 
@@ -98,6 +168,7 @@ class Stream:
                     f"stream {self.name!r}: sliced write after finalizing "
                     f"put() in iteration {iteration}"
                 )
+            self.check_expected(iteration, shape, dtype, writer)
             buffer = self._slots.get(iteration)
             if buffer is not None and shape is not None and isinstance(
                 buffer, np.ndarray
@@ -106,11 +177,21 @@ class Stream:
                 if tuple(shape) != buffer.shape or (
                     want_dtype is not None and want_dtype != buffer.dtype
                 ):
-                    raise StreamError(
+                    raise StreamFormatError(
                         f"stream {self.name!r}: ensure_buffer geometry "
-                        f"mismatch in iteration {iteration}: requested "
-                        f"{tuple(shape)}/{want_dtype}, slot already "
-                        f"allocated as {buffer.shape}/{buffer.dtype}"
+                        f"mismatch in iteration {iteration}: node "
+                        f"{writer or '?'} requested {tuple(shape)}/"
+                        f"{want_dtype}, slot already allocated as "
+                        f"{buffer.shape}/{buffer.dtype} (see lint codes "
+                        "X501/X503, `python -m repro lint`)",
+                        stream=self.name,
+                        iteration=iteration,
+                        node=writer,
+                        declared=(buffer.shape, buffer.dtype.name),
+                        observed=(
+                            tuple(shape),
+                            want_dtype.name if want_dtype else None,
+                        ),
                     )
             if buffer is None:
                 if shape is not None:
@@ -126,6 +207,7 @@ class Stream:
                         f"stream {self.name!r}: ensure_buffer needs a "
                         "factory or a shape"
                     )
+                self._observe(buffer)
                 self._slots[iteration] = buffer
             self._writes += 1
             return buffer
@@ -204,12 +286,47 @@ class StreamStore:
         #: cached list of all streams, invalidated on stream creation, so
         #: the per-iteration release sweep doesn't rebuild it every time
         self._snapshot: list[Stream] | None = None
+        #: stream name -> (shape, dtype) from the format-reconciliation
+        #: pass, installed on streams as they are created
+        self._expectations: dict[str, tuple[tuple[int, ...], Any]] = {}
+
+    def set_expectations(
+        self, expectations: Mapping[str, tuple[tuple[int, ...], Any]]
+    ) -> None:
+        """Install solved per-stream formats as buffer authorities.
+
+        ``expectations`` maps stream name to ``(shape, dtype)`` — the
+        output of :func:`repro.analysis.formats.runtime_expectations`.
+        Replaces the previous expectation table (reconfiguration swaps
+        the active configuration's solution in) and applies to both
+        existing and future streams.
+        """
+        with self._lock:
+            self._expectations = dict(expectations)
+            for name, stream in self._streams.items():
+                exp = self._expectations.get(name)
+                if exp is not None:
+                    stream.set_expected(*exp)
+                else:
+                    stream.expected = None
+
+    def observed_formats(self) -> dict[str, tuple]:
+        """First-write geometry per stream, for format-parity checks."""
+        with self._lock:
+            return {
+                name: s.observed
+                for name, s in self._streams.items()
+                if s.observed is not None
+            }
 
     def stream(self, name: str) -> Stream:
         with self._lock:
             stream = self._streams.get(name)
             if stream is None:
                 stream = Stream(name, self.pool)
+                exp = self._expectations.get(name)
+                if exp is not None:
+                    stream.set_expected(*exp)
                 self._streams[name] = stream
                 self._snapshot = None
             return stream

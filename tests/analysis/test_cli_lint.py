@@ -83,6 +83,33 @@ def test_lint_no_registry_skips_graph_checks(spec_file, capsys):
     assert main(["lint", spec_file(custom), "--no-registry"]) == 0
 
 
+def test_lint_show_formats_json(spec_file, capsys):
+    path = spec_file(CLEAN)
+    assert main(["lint", path, "--format", "json", "--show-formats"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    (solutions,) = [payload["formats"][path]]
+    streams = solutions[0]["streams"]
+    assert streams["raw"]["kind"] == "plane"
+    assert streams["raw"]["dtype"] == "uint8"
+    assert streams["raw"]["shape"] == [8, 8]
+    assert streams["raw"]["declared"] is True
+
+
+def test_lint_show_formats_text(spec_file, capsys):
+    assert main(["lint", spec_file(CLEAN), "--show-formats"]) == 0
+    out = capsys.readouterr().out
+    assert "solved formats" in out
+    assert "dtype=uint8" in out
+
+
+def test_mismatch_fixture_fails_before_any_runtime(capsys):
+    from pathlib import Path
+
+    fixture = Path(__file__).parent / "fixtures" / "format_mismatch.xml"
+    assert main(["lint", str(fixture), "--fail-on", "error"]) == 1
+    assert "[X501]" in capsys.readouterr().out
+
+
 def test_validate_reports_every_error(spec_file, capsys):
     assert main(["validate", spec_file(MULTI_ERROR)]) == 1
     err = capsys.readouterr().err

@@ -1,0 +1,282 @@
+"""Format grammar (core.formats) and the X5xx reconciliation pass."""
+
+from __future__ import annotations
+
+import dataclasses
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import lint_string
+from repro.analysis.diagnostics import Severity
+from repro.core.formats import (
+    FormatError,
+    Unifier,
+    parse_format,
+)
+
+from .conftest import sink, source, wrap
+
+
+# ---------------------------------------------------------------------------
+# grammar: parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_full_declaration():
+    decl = parse_format(
+        "kind=plane dtype=uint8 shape=height,width colorspace=y block=8"
+    )
+    assert decl.kind == "plane"
+    assert decl.dtype == "uint8"
+    assert decl.colorspace == "y"
+    assert decl.block == 8
+    assert len(decl.dims) == 2
+
+
+def test_parse_rejects_unknown_kind():
+    with pytest.raises(FormatError, match="kind"):
+        parse_format("kind=bogus")
+
+
+def test_parse_rejects_empty_dimension():
+    with pytest.raises(FormatError):
+        parse_format("shape=height,,width")
+
+
+def test_parse_rejects_scaled_wildcard():
+    with pytest.raises(FormatError):
+        parse_format("shape=*/2,width")
+
+
+def test_numeric_scale_renders_roundtrip():
+    decl = parse_format("shape=height/2,width*3")
+    assert decl.dims[0].render() == "height/2"
+    assert decl.dims[1].render() == "width*3"
+
+
+# ---------------------------------------------------------------------------
+# grammar: instantiation
+# ---------------------------------------------------------------------------
+
+
+def test_instantiate_resolves_params_and_scales():
+    decl = parse_format("shape=height/2,width*2")
+    term = decl.instantiate({"height": 16, "width": 8}, "c")
+    assert term.dims[0] == ("const", 8)
+    assert term.dims[1] == ("const", 16)
+
+
+def test_instantiate_param_name_scale():
+    decl = parse_format("shape=height/factor,width/factor")
+    term = decl.instantiate({"height": 16, "width": 8, "factor": 4}, "c")
+    assert term.dims[0] == ("const", 4)
+    assert term.dims[1] == ("const", 2)
+
+
+def test_instantiate_param_scale_non_integral_is_error():
+    decl = parse_format("shape=height/factor")
+    with pytest.raises(FormatError, match="not.*integ|integral|divisible"):
+        decl.instantiate({"height": 10, "factor": 4}, "c")
+
+
+def test_instantiate_param_scale_bad_value_is_error():
+    decl = parse_format("shape=height/factor")
+    with pytest.raises(FormatError, match="factor"):
+        decl.instantiate({"height": 10, "factor": "three"}, "c")
+    with pytest.raises(FormatError, match="factor"):
+        decl.instantiate({"height": 10}, "c")
+
+
+def test_instantiate_odd_halving_is_error():
+    decl = parse_format("shape=height/2")
+    with pytest.raises(FormatError):
+        decl.instantiate({"height": 9}, "c")
+
+
+def test_unresolved_name_becomes_scoped_variable():
+    decl = parse_format("shape=rows,cols")
+    term = decl.instantiate({}, "mydef")
+    assert term.dims[0][0] == "var"
+    assert term.dims[0][1][0] == "mydef.rows"
+
+
+# ---------------------------------------------------------------------------
+# grammar: unification
+# ---------------------------------------------------------------------------
+
+
+def test_unify_ratio_propagation():
+    u = Unifier()
+    # H/2 == 8  =>  H == 16
+    assert u.unify_dim(("var", ("H", Fraction(1, 2))), ("const", 8)) is None
+    assert u.resolve_dim(("var", ("H", Fraction(1)))) == 16
+
+
+def test_unify_symbolic_conflict():
+    u = Unifier()
+    # H == H/2 has no positive integral solution
+    c = u.unify_dim(("var", ("H", Fraction(1))), ("var", ("H", Fraction(1, 2))))
+    assert c is not None and c.symbolic
+
+
+def test_unify_concrete_conflict():
+    u = Unifier()
+    c = u.unify_dim(("const", 8), ("const", 16))
+    assert c is not None and not c.symbolic
+
+
+# ---------------------------------------------------------------------------
+# the X5xx pass (negative fixtures, one per code)
+# ---------------------------------------------------------------------------
+
+
+def _line_of(text: str, needle: str) -> int:
+    for i, row in enumerate(text.splitlines(), start=1):
+        if needle in row:
+            return i
+    raise AssertionError(f"{needle!r} not in spec")
+
+
+def by_code(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def test_clean_pipeline_has_no_format_diagnostics(ports):
+    diags = lint_string(wrap(source("s", "raw") + sink("k", "raw")), ports=ports)
+    assert not [d for d in diags if d.code.startswith("X5")]
+
+
+def test_x501_concrete_shape_mismatch_points_at_binding(ports):
+    text = wrap(
+        source("s", "raw")
+        + '<component name="k" class="plane_sink">'
+          '<stream port="input" ref="raw"/>'
+          '<param name="width" value="16"/><param name="height" value="16"/>'
+          "</component>\n"
+    )
+    found = by_code(lint_string(text, ports=ports), "X501")
+    assert found, "expected an X501 producer/consumer mismatch"
+    d = found[0]
+    assert d.severity == Severity.ERROR
+    assert "dimension" in d.message or "mismatch" in d.message
+    assert d.line == _line_of(text, 'class="plane_sink"')
+
+
+def test_x502_unsolvable_symbolic_dimension(ports):
+    # height=8 cannot be divided by 3 integrally: the term has no solution
+    text = wrap(
+        source("s", "raw")
+        + '<component name="k" class="plane_sink">'
+          '<stream port="input" ref="raw" '
+          'format="kind=plane shape=height/3,width"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          "</component>\n"
+    )
+    found = by_code(lint_string(text, ports=ports), "X502")
+    assert found and found[0].severity == Severity.ERROR
+    assert found[0].line == _line_of(text, "height/3")
+
+
+def test_x503_block_must_divide_sliced_height(ports):
+    body = (
+        source("s", "raw")
+        + '<parallel shape="slice" n="2"><parblock>'
+          '<component name="b" class="blur_h_field">'
+          '<stream port="input" ref="raw"/>'
+          '<stream port="output" ref="out" '
+          'format="kind=plane shape=height,width dtype=uint8 block=3"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          '<param name="size" value="3"/>'
+          "</component>"
+          "</parblock></parallel>\n"
+        + sink("k", "out")
+    )
+    text = wrap(body)
+    found = by_code(lint_string(text, ports=ports), "X503")
+    assert found and found[0].severity == Severity.ERROR
+    assert "block" in found[0].message and "8" in found[0].message
+
+
+def test_x504_convertible_dtype_mismatch_names_converter(ports):
+    text = wrap(
+        source("s", "raw")
+        + '<component name="k" class="plane_sink">'
+          '<stream port="input" ref="raw" '
+          'format="kind=plane shape=height,width dtype=float32"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          "</component>\n"
+    )
+    diags = lint_string(text, ports=ports)
+    found = by_code(diags, "X504")
+    assert found and found[0].severity == Severity.WARNING
+    assert "convert_plane" in found[0].message
+    # convertible means *no* hard X501 for the same stream
+    assert not by_code(diags, "X501")
+
+
+def test_x504_lossy_direction_is_flagged_as_lossy(ports):
+    # a float64 producer feeding the uint8-declared sink loses information
+    text = wrap(
+        source("s", "raw")
+        + '<component name="mid" class="blur_h_field">'
+          '<stream port="input" ref="raw"/>'
+          '<stream port="output" ref="out" '
+          'format="kind=plane shape=height,width dtype=float64"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          '<param name="size" value="3"/>'
+          "</component>\n"
+        + sink("k", "out")
+    )
+    found = by_code(lint_string(text, ports=ports), "X504")
+    assert found and "lossy" in found[0].message
+
+
+def test_x505_undeclared_port_degrades_to_inference(ports):
+    # Strip the sink's declarations: the pass must *inform*, never error.
+    stripped = dict(ports)
+    stripped["plane_sink"] = dataclasses.replace(
+        ports["plane_sink"], formats={}
+    )
+    diags = lint_string(
+        wrap(source("s", "raw") + sink("k", "raw")), ports=stripped
+    )
+    fives = [d for d in diags if d.code.startswith("X5")]
+    assert fives and all(d.code == "X505" for d in fives)
+    assert all(d.severity == Severity.INFO for d in fives)
+
+
+def test_x119_malformed_override(ports):
+    text = wrap(
+        source("s", "raw")
+        + '<component name="k" class="plane_sink">'
+          '<stream port="input" ref="raw" format="kind=nonsense"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          "</component>\n"
+    )
+    found = by_code(lint_string(text, ports=ports), "X119")
+    assert found and found[0].severity == Severity.ERROR
+    assert found[0].line == _line_of(text, "nonsense")
+
+
+def test_shared_variable_threads_across_component_ports(ports):
+    # blur declares dtype=?T on input and output: a float32 override on
+    # the *input* stream propagates through to the output stream.
+    from repro.analysis import solve_formats
+    from repro.core import expand, parse_string
+
+    text = wrap(
+        source("s", "raw")
+        + '<component name="mid" class="blur_h_field">'
+          '<stream port="input" ref="raw" '
+          'format="kind=plane shape=height,width dtype=uint8"/>'
+          '<stream port="output" ref="out"/>'
+          '<param name="width" value="8"/><param name="height" value="8"/>'
+          '<param name="size" value="3"/>'
+          "</component>\n"
+        + sink("k", "out")
+    )
+    program = expand(parse_string(text), ports, name="t")
+    (solution,) = solve_formats(program)
+    assert solution.streams["out"].dtype == "uint8"
+    assert solution.streams["out"].shape == (8, 8)

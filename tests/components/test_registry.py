@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.components.registry import (
     DEFAULT_REGISTRY,
+    FAMILIES,
     default_ports,
     default_registry,
+    implementations,
     register,
 )
 from repro.core.ports import PortSpec
@@ -88,3 +91,104 @@ def test_every_registered_class_has_a_cost_profile():
         assert cls.cost_profile.__func__ is not Base.cost_profile.__func__, (
             f"{name} lacks a cost profile"
         )
+
+
+# ---------------------------------------------------------------------------
+# multi-implementation families
+# ---------------------------------------------------------------------------
+
+
+def test_every_abstract_name_has_a_family():
+    assert set(FAMILIES) >= set(DEFAULT_REGISTRY)
+    for name in DEFAULT_REGISTRY:
+        assert FAMILIES[name].reference is DEFAULT_REGISTRY[name]
+
+
+def test_downscale_ships_a_strided_implementation():
+    impls = implementations("downscale_field")
+    assert set(impls) >= {"numpy", "strided"}
+    assert impls["numpy"] is not impls["strided"]
+
+
+def test_implementations_unknown_name_raises():
+    with pytest.raises(RegistryError, match="unknown component class"):
+        implementations("no_such_class")
+
+
+def test_default_registry_impl_selection():
+    reg = default_registry(impls={"downscale_field": "strided"})
+    assert reg["downscale_field"] is FAMILIES["downscale_field"].impls["strided"]
+    # the rest of the table is untouched
+    assert reg["blend_field"] is DEFAULT_REGISTRY["blend_field"]
+
+
+def test_default_registry_unknown_impl_raises():
+    with pytest.raises(RegistryError, match="no implementation"):
+        default_registry(impls={"downscale_field": "bogus"})
+    with pytest.raises(RegistryError, match="unknown component class"):
+        default_registry(impls={"nope": "numpy"})
+
+
+def test_impl_registration_validates_format_signature():
+    base = DEFAULT_REGISTRY["downscale_field"]
+
+    class BadFormats(base):  # type: ignore[misc, valid-type]
+        ports = PortSpec(
+            inputs=base.ports.inputs,
+            outputs=base.ports.outputs,
+            required_params=base.ports.required_params,
+            optional_params=base.ports.optional_params,
+            formats={
+                **base.ports.formats,
+                "output": "kind=plane shape=height,width dtype=float64",
+            },
+        )
+
+    with pytest.raises(RegistryError, match="port 'output'"):
+        register("downscale_field", BadFormats, impl="bad")
+    assert "bad" not in implementations("downscale_field")
+
+
+def test_impl_registration_validates_port_sets():
+    class WrongPorts(Component):
+        ports = PortSpec(inputs=("input",), outputs=("output", "extra"))
+
+        def run(self, job):
+            pass
+
+    with pytest.raises(RegistryError, match="'extra'"):
+        register("downscale_field", WrongPorts, impl="bad")
+
+
+def test_impl_registration_requires_existing_family():
+    class Custom(Component):
+        ports = PortSpec()
+
+        def run(self, job):
+            pass
+
+    with pytest.raises(RegistryError, match="register the default"):
+        register("brand_new_class", Custom, impl="alt")
+    with pytest.raises(RegistryError, match="private registry"):
+        register("downscale_field", Custom, impl="alt", registry={})
+
+
+def test_strided_downscale_is_bit_identical():
+    """Swapping the family implementation must not change one pixel."""
+    from repro.apps import build_pip, make_program
+    from repro.hinch import ThreadedRuntime
+
+    def frames(registry):
+        spec = build_pip(1, width=64, height=48, factor=4, slices=2,
+                         frames=2, collect=True)
+        rt = ThreadedRuntime(make_program(spec, name="pip"), registry,
+                             nodes=2, max_iterations=3)
+        return rt.run().components["sink"].ordered_frames()
+
+    reference = frames(default_registry())
+    strided = frames(default_registry(impls={"downscale_field": "strided"}))
+    assert len(reference) == len(strided) == 3
+    for a, b in zip(reference, strided):
+        assert np.array_equal(a.y, b.y)
+        assert np.array_equal(a.u, b.u)
+        assert np.array_equal(a.v, b.v)

@@ -29,6 +29,24 @@ def test_roundtrip_minimal():
     assert parse_string(spec_to_xml(spec)) == spec
 
 
+def test_roundtrip_format_overrides():
+    b = AppBuilder()
+    main = b.procedure("main")
+    main.component(
+        "src", "source", streams={"output": "data"},
+        formats={"output": "kind=plane shape=8,8 dtype=uint8"},
+    )
+    main.component("snk", "sink", streams={"input": "data"})
+    spec = b.build()
+    xml = spec_to_xml(spec)
+    assert 'format="kind=plane shape=8,8 dtype=uint8"' in xml
+    reparsed = parse_string(xml)
+    assert reparsed == spec
+    (main_proc,) = [reparsed.procedures["main"]]
+    src = main_proc.body[0]
+    assert src.formats == {"output": "kind=plane shape=8,8 dtype=uint8"}
+
+
 def test_roundtrip_full_feature_set():
     b = AppBuilder()
     main = b.procedure("main")
