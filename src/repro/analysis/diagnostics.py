@@ -127,6 +127,7 @@ CODES: dict[str, CodeInfo] = _catalogue(
     ("X503", _E, "formats", "slice block does not divide a declared dimension"),
     ("X504", _W, "formats", "lossy format mismatch, auto-convertible"),
     ("X505", _I, "formats", "undeclared port format, falling back to inference"),
+    ("X506", _I, "formats", "convert_plane auto-inserted at an X504 site"),
 )
 
 FAMILIES: tuple[str, ...] = (

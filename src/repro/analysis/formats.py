@@ -19,7 +19,12 @@ Diagnostics:
 * **X504** (warning) — a plane dtype mismatch that the shipped
   ``convert_plane`` component could bridge (named in the message);
 * **X505** (info) — an endpoint without any format declaration; the
-  stream degrades to first-write inference, never an error.
+  stream degrades to first-write inference, never an error;
+* **X506** (info) — an X504 site the runtimes bridge themselves: both
+  backends auto-insert the ``convert_plane`` at build time
+  (:func:`auto_insert_converters`), and the chain-fusion pass
+  (``--fuse``) then absorbs the inserted converter into the producer or
+  consumer chain so the bridge costs no extra dispatch.
 
 The solved per-stream formats double as the runtimes' authoritative
 buffer expectations (:func:`runtime_expectations`) — a declared/observed
@@ -47,8 +52,10 @@ from repro.core.formats import (
 __all__ = [
     "SolvedStream",
     "FormatSolution",
+    "ConversionSite",
     "check_formats",
     "runtime_expectations",
+    "auto_insert_converters",
     "CONVERTER_COMPONENT",
 ]
 
@@ -78,12 +85,29 @@ class SolvedStream:
         }
 
 
+@dataclass(frozen=True)
+class ConversionSite:
+    """One X504 dtype bridge the runtimes insert a ``convert_plane`` for.
+
+    The stream keeps the *writer's* dtype; the reader endpoint here is
+    rebound to a derived stream carrying ``dst_dtype``.
+    """
+
+    stream: str
+    reader: str  # reader instance id
+    port: str  # reader port rebound to the converted stream
+    src_dtype: str
+    dst_dtype: str
+
+
 @dataclass
 class FormatSolution:
     """Result of one configuration's reconciliation pass."""
 
     option_states: dict[str, bool] = field(default_factory=dict)
     streams: dict[str, SolvedStream] = field(default_factory=dict)
+    #: X504 sites, in discovery order — input to auto_insert_converters
+    conversions: list[ConversionSite] = field(default_factory=list)
 
 
 @dataclass
@@ -220,6 +244,34 @@ def check_formats(
                 line=ep.line,
                 where=ep.definition_id,
             )
+            # Bridgeable direction (writer's dtype flows to a mismatched
+            # reader) with the converter available: the runtimes insert
+            # the bridge at build time, so note it rather than leave the
+            # X504 as homework.
+            if (
+                owner.is_writer
+                and not ep.is_writer
+                and CONVERTER_COMPONENT in program.registry
+            ):
+                solution.conversions.append(
+                    ConversionSite(
+                        stream=stream,
+                        reader=ep.instance_id,
+                        port=ep.port,
+                        src_dtype=c.ours,
+                        dst_dtype=c.theirs,
+                    )
+                )
+                bag.report(
+                    "X506",
+                    f"stream {stream!r}: a {CONVERTER_COMPONENT!r} "
+                    f"({c.ours} -> {c.theirs}) is auto-inserted before "
+                    f"{ep.definition_id}.{ep.port} at build time; chain "
+                    "fusion (--fuse) absorbs the inserted converter"
+                    f"{context}",
+                    line=ep.line,
+                    where=ep.definition_id,
+                )
             return
         sol.conflicted = True
         code = "X502" if c.symbolic else "X501"
@@ -331,18 +383,9 @@ def check_formats(
     return solution
 
 
-def runtime_expectations(program, pg) -> dict[str, tuple[tuple[int, ...], str]]:
-    """Solved plane expectations for the runtimes' ``ensure_buffer``.
-
-    Returns ``{stream name: (shape, dtype name)}`` for every stream whose
-    reconciled format is a fully-concrete, conflict-free pixel plane with
-    *every* endpoint declared.  Streams that carry objects
-    (bitstream/coeffs/scalar), have open dimensions, touch an undeclared
-    port, or failed reconciliation are left to first-write inference,
-    exactly like before this pass existed.
-    """
-    bag = DiagnosticBag()  # discarded: lint is where diagnostics surface
-    solution = check_formats(bag, program, pg)
+def _expectations_from(
+    solution: FormatSolution,
+) -> dict[str, tuple[tuple[int, ...], str]]:
     out: dict[str, tuple[tuple[int, ...], str]] = {}
     for name, sol in solution.streams.items():
         if (
@@ -356,3 +399,163 @@ def runtime_expectations(program, pg) -> dict[str, tuple[tuple[int, ...], str]]:
             continue
         out[name] = (tuple(int(d) for d in sol.shape), sol.dtype)  # type: ignore[misc]
     return out
+
+
+def runtime_expectations(
+    program, pg, *, solution: FormatSolution | None = None
+) -> dict[str, tuple[tuple[int, ...], str]]:
+    """Solved plane expectations for the runtimes' ``ensure_buffer``.
+
+    Returns ``{stream name: (shape, dtype name)}`` for every stream whose
+    reconciled format is a fully-concrete, conflict-free pixel plane with
+    *every* endpoint declared.  Streams that carry objects
+    (bitstream/coeffs/scalar), have open dimensions, touch an undeclared
+    port, or failed reconciliation are left to first-write inference,
+    exactly like before this pass existed.
+    """
+    if solution is None:
+        bag = DiagnosticBag()  # discarded: lint is where diagnostics surface
+        solution = check_formats(bag, program, pg)
+    return _expectations_from(solution)
+
+
+def auto_insert_converters(
+    program,
+    pg,
+    registry,
+    expectations: dict[str, tuple[tuple[int, ...], str]],
+    solution: FormatSolution | None = None,
+):
+    """Insert ``convert_plane`` bridges at every X506 site of this build.
+
+    Rewrites ``pg`` (graph, stream tables, active set) so each recorded
+    :class:`ConversionSite` reader consumes a derived stream
+    ``<stream>.as_<dtype>`` fed by an auto-inserted unsliced converter.
+    The rewrite is deterministic in ``pg`` — the process backend's
+    dispatcher and every worker run it independently and must agree on
+    ids.  Returns ``(pg, overrides, expectations)`` where ``overrides``
+    maps instance ids to the converter instances *and* the rebound reader
+    instances (``Program.components`` is never mutated; component hosts
+    consult the overrides first).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.core.program import ComponentInstance, ProgramGraph, StreamEndpoint, StreamTable
+
+    if solution is None:
+        bag = DiagnosticBag()
+        solution = check_formats(bag, program, pg)
+    sites = [
+        s
+        for s in solution.conversions
+        if s.stream in pg.streams
+        and any(r.instance_id == s.reader and r.port == s.port
+                for r in pg.streams[s.stream].readers)
+    ]
+    if not sites or CONVERTER_COMPONENT not in registry:
+        return pg, {}, expectations
+
+    overrides: dict[str, ComponentInstance] = {}
+    streams = {name: StreamTable(t.name, list(t.writers), list(t.readers))
+               for name, t in pg.streams.items()}
+    expectations = dict(expectations)
+    graph = pg.graph
+    # (stream, dst dtype) -> converter instance; readers wanting the same
+    # conversion share one bridge
+    converters: dict[tuple[str, str], ComponentInstance] = {}
+
+    def reader_instance(instance_id: str) -> ComponentInstance:
+        got = overrides.get(instance_id)
+        if got is not None:
+            return got
+        return program.components[instance_id]
+
+    for site in sites:
+        key = (site.stream, site.dst_dtype)
+        derived = f"{site.stream}.as_{site.dst_dtype}"
+        conv = converters.get(key)
+        if conv is None:
+            reader = reader_instance(site.reader)
+            conv = ComponentInstance(
+                instance_id=f"{derived}.convert",
+                definition_id=f"{derived}.convert",
+                class_name=CONVERTER_COMPONENT,
+                params={"dtype": site.dst_dtype},
+                streams={"input": site.stream, "output": derived},
+                slice=None,
+                manager=reader.manager,
+                options=reader.options,
+            )
+            converters[key] = conv
+            overrides[conv.instance_id] = conv
+            streams[site.stream].readers.append(
+                StreamEndpoint(conv.instance_id, "input")
+            )
+            streams[derived] = StreamTable(
+                derived, [StreamEndpoint(conv.instance_id, "output")], []
+            )
+            src_expect = expectations.get(site.stream)
+            if src_expect is not None:
+                expectations[derived] = (src_expect[0], site.dst_dtype)
+        # rebind the reader port to the derived stream
+        reader = reader_instance(site.reader)
+        new_reader = _replace(
+            reader, streams={**reader.streams, site.port: derived}
+        )
+        overrides[site.reader] = new_reader
+        table = streams[site.stream]
+        table.readers = [
+            r
+            for r in table.readers
+            if not (r.instance_id == site.reader and r.port == site.port)
+        ]
+        streams[derived].readers.append(StreamEndpoint(site.reader, site.port))
+
+    # Rebuild the graph: same nodes with rebound reader payloads, plus one
+    # node per converter; original edges are kept wholesale (the old
+    # writer->reader ordering is implied by writer->conv->reader anyway).
+    from repro.graph.taskgraph import TaskGraph
+
+    new_graph = TaskGraph()
+    for node in graph:
+        payload = node.payload
+        if (
+            isinstance(payload, ComponentInstance)
+            and payload.instance_id in overrides
+        ):
+            payload = overrides[payload.instance_id]
+        new_graph.add_node(
+            node.node_id,
+            label=node.label,
+            kind=node.kind,
+            payload=payload,
+            weight=node.weight,
+        )
+    for conv in converters.values():
+        new_graph.add_node(
+            conv.instance_id,
+            label=conv.instance_id,
+            kind="task",
+            payload=conv,
+            weight=1,
+        )
+    for u, v in graph.edges():
+        new_graph.add_edge(u, v)
+    for (stream, _dst), conv in converters.items():
+        for w in streams[stream].writers:
+            if w.instance_id in new_graph:
+                new_graph.add_edge(w.instance_id, conv.instance_id)
+        for r in streams[conv.streams["output"]].readers:
+            if r.instance_id in new_graph:
+                new_graph.add_edge(conv.instance_id, r.instance_id)
+
+    new_pg = ProgramGraph(
+        graph=new_graph,
+        streams=streams,
+        aliases=pg.aliases,
+        option_states=pg.option_states,
+        active_components=pg.active_components
+        + tuple(c.instance_id for c in converters.values()),
+        crossdep_nodes=pg.crossdep_nodes,
+    )
+    return new_pg, overrides, expectations

@@ -31,7 +31,7 @@ def check_fusable_chains(
     bag: DiagnosticBag, program: Program, pg: ProgramGraph
 ) -> None:
     """X401: maximal linear component chains groupable into one job."""
-    for chain in find_linear_chains(pg.graph):
+    for chain in find_linear_chains(pg.graph, pg.crossdep_nodes):
         first = program.components.get(chain[0])
         bag.report(
             "X401",

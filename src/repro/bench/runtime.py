@@ -45,6 +45,7 @@ from repro.core.expander import expand
 from repro.core.ports import PortSpec
 from repro.errors import ReproError
 from repro.hinch.component import Component, JobContext
+from repro.hinch.tracing import ATTRIBUTION_KINDS
 
 __all__ = [
     "RuntimeProfile", "PROFILES", "collect", "compare", "render_report",
@@ -221,6 +222,7 @@ def _run_once(
     *,
     trace: bool = False,
     batch: int | None = None,
+    fuse: bool = False,
 ) -> Any:
     if backend == "threaded":
         from repro.hinch import ThreadedRuntime
@@ -228,7 +230,7 @@ def _run_once(
         rt = ThreadedRuntime(
             program, registry, nodes=n,
             pipeline_depth=profile.pipeline_depth,
-            max_iterations=profile.frames, trace=trace,
+            max_iterations=profile.frames, trace=trace, fuse=fuse,
         )
     elif backend == "process":
         from repro.hinch import ProcessRuntime
@@ -238,6 +240,7 @@ def _run_once(
             pipeline_depth=profile.pipeline_depth,
             max_iterations=profile.frames, trace=trace,
             batch=profile.batch if batch is None else batch,
+            fuse=fuse,
         )
     else:
         raise ReproError(f"unknown backend {backend!r}")
@@ -246,7 +249,7 @@ def _run_once(
 
 def _measure_cell(
     program: Any, registry: Any, backend: str, n: int,
-    profile: RuntimeProfile,
+    profile: RuntimeProfile, *, fuse: bool = False,
 ) -> dict[str, Any]:
     """Median-of-``repeats`` wall time for one standalone cell.
 
@@ -256,7 +259,8 @@ def _measure_cell(
     """
     times: list[float] = []
     for _ in range(max(1, profile.repeats)):
-        result = _run_once(program, registry, backend, n, profile)
+        result = _run_once(program, registry, backend, n, profile,
+                           fuse=fuse)
         if result.completed_iterations != profile.frames:
             raise ReproError(
                 f"{backend} x{n}: completed {result.completed_iterations} "
@@ -289,28 +293,38 @@ def _measure_app(
     to run first — on a loaded single-core host that ordering bias
     easily exceeds the n1-vs-n4 difference being measured.
     """
+    sections = (
+        ("threaded", "threaded", False),
+        ("process", "process", False),
+        # chain fusion (--fuse): same apps, linear chains compiled to
+        # single-dispatch kernels — the utilization-gap closer
+        ("process_fused", "process", True),
+    )
     configs = [
-        (backend, n)
-        for backend in ("threaded", "process")
+        (label, backend, fuse, n)
+        for label, backend, fuse in sections
         for n in profile.workers
     ]
-    samples: dict[tuple[str, int], list[float]] = {c: [] for c in configs}
+    samples: dict[tuple[str, int], list[float]] = {
+        (label, n): [] for label, _, _, n in configs
+    }
     for _ in range(max(1, profile.repeats)):
-        for backend, n in configs:
-            result = _run_once(program, registry, backend, n, profile)
+        for label, backend, fuse, n in configs:
+            result = _run_once(program, registry, backend, n, profile,
+                               fuse=fuse)
             if result.completed_iterations != profile.frames:
                 raise ReproError(
-                    f"{backend} x{n}: completed "
+                    f"{label} x{n}: completed "
                     f"{result.completed_iterations} of {profile.frames} "
                     "iterations"
                 )
-            samples[(backend, n)].append(result.elapsed_seconds)
+            samples[(label, n)].append(result.elapsed_seconds)
     out: dict[str, Any] = {}
-    for backend in ("threaded", "process"):
+    for label, _backend, _fuse in sections:
         cells: dict[str, Any] = {}
         base_fps: float | None = None
         for n in profile.workers:
-            times = samples[(backend, n)]
+            times = samples[(label, n)]
             median = statistics.median(times)
             cell = {
                 "workers": n,
@@ -325,26 +339,57 @@ def _measure_app(
                 cell["frames_per_sec"] / base_fps if base_fps else 0.0
             )
             cells[f"n{n}"] = cell
-        out[backend] = cells
-    # one traced process run at the widest configuration: per-worker
-    # occupancy (dispatcher-side control jobs appear as worker -1)
-    widest = max(profile.workers)
-    result = _run_once(program, registry, "process", widest, profile,
-                       trace=True)
-    pool = result.pool_stats
-    out["occupancy"] = {
-        "workers": widest,
-        "per_worker_busy": {
-            str(w): round(busy, 6)
-            for w, busy in result.trace.per_worker_busy().items()
-        },
-        "utilization": round(result.trace.utilization(widest), 4),
-        # Dispatch-path cost counters: bytes pickled for control
-        # metadata and how many values crossed the pipes as pickles
-        # rather than shared planes.  Batching exists to shrink these.
-        "meta_pickled_bytes": pool.get("meta_pickled_bytes", 0),
-        "pickle_packs": pool.get("pickle_packs", 0),
+        out[label] = cells
+    # fused-over-unfused throughput ratio per worker count — the
+    # headline chain-fusion number (acceptance: >= 2x on JPiP process)
+    out["fused_over_unfused"] = {
+        f"n{n}": round(
+            out["process_fused"][f"n{n}"]["frames_per_sec"]
+            / out["process"][f"n{n}"]["frames_per_sec"], 4,
+        )
+        for n in profile.workers
     }
+    # one traced process run per variant at the widest configuration:
+    # per-worker occupancy (dispatcher control jobs appear as worker -1)
+    widest = max(profile.workers)
+    for key, fuse in (("occupancy", False), ("occupancy_fused", True)):
+        result = _run_once(program, registry, "process", widest, profile,
+                           trace=True, fuse=fuse)
+        pool = result.pool_stats
+        trace = result.trace
+        span = trace.makespan()
+        # Utilization of the *parallel* (sliced) stages only.  Their
+        # compute is identical fused and unfused — fusion never changes
+        # a sliced kernel's math — so this isolates the scheduling
+        # effect: unfused, sliced jobs sit starved behind the serial
+        # bitstream stages; fused, the makespan collapses around them.
+        # Aggregate `utilization` conflates that with the peephole
+        # doing strictly *less* work per frame (on a 1-core host it can
+        # drop while throughput triples), hence the separate metric.
+        sliced_busy = sum(
+            e.duration for e in trace.events
+            if e.kind not in ATTRIBUTION_KINDS and "[" in e.node_id
+        )
+        out[key] = {
+            "workers": widest,
+            "per_worker_busy": {
+                str(w): round(busy, 6)
+                for w, busy in trace.per_worker_busy().items()
+            },
+            "utilization": round(trace.utilization(widest), 4),
+            "parallel_stage_utilization": round(
+                sliced_busy / (span * widest), 4) if span > 0 else 0.0,
+            "busy_seconds": round(trace.busy_time(), 6),
+            "jobs": sum(
+                1 for e in trace.events if e.kind not in ATTRIBUTION_KINDS
+            ),
+            # Dispatch-path cost counters: bytes pickled for control
+            # metadata and how many values crossed the pipes as pickles
+            # rather than shared planes.  Batching and fusion both exist
+            # to shrink these.
+            "meta_pickled_bytes": pool.get("meta_pickled_bytes", 0),
+            "pickle_packs": pool.get("pickle_packs", 0),
+        }
     return out
 
 
@@ -486,8 +531,8 @@ def _wall_metrics(payload: dict) -> dict[str, float]:
         sections["probe"] = payload["probe"]
     for app, backends in sections.items():
         for backend, cells in backends.items():
-            if backend == "occupancy":
-                continue
+            if backend not in ("threaded", "process", "process_fused"):
+                continue  # occupancy / ratio sections are informational
             for key, cell in cells.items():
                 seconds = cell.get("median_seconds", cell.get("seconds"))
                 if isinstance(seconds, (int, float)):
@@ -539,12 +584,12 @@ def render_report(payload: dict, baseline: dict | None = None) -> str:
         sections["probe"] = payload["probe"]
     for app, backends in sections.items():
         lines.append(f"{app}:")
-        for backend in ("threaded", "process"):
+        for backend in ("threaded", "process", "process_fused"):
             cells = backends.get(backend, {})
             for key in sorted(cells, key=lambda k: int(k[1:])):
                 cell = cells[key]
                 parts = [
-                    f"  {backend:<9} x{cell['workers']}"
+                    f"  {backend:<13} x{cell['workers']}"
                     f" {cell['median_seconds']:8.3f}s"
                     f" {cell['frames_per_sec']:8.2f} f/s"
                     f"  {cell['speedup']:5.2f}x"
@@ -554,15 +599,28 @@ def render_report(payload: dict, baseline: dict | None = None) -> str:
                     delta = cell["median_seconds"] / before - 1.0
                     parts.append(f"[{delta:+.0%} vs baseline]")
                 lines.append(" ".join(parts))
-        occ = backends.get("occupancy")
-        if occ:
-            busy = ", ".join(
-                f"w{w}={v:.3f}s" for w, v in occ["per_worker_busy"].items()
+        ratio = backends.get("fused_over_unfused")
+        if ratio:
+            pairs = ", ".join(
+                f"{k}={v:.2f}x"
+                for k, v in sorted(ratio.items(), key=lambda kv: int(kv[0][1:]))
             )
-            lines.append(
-                f"  occupancy x{occ['workers']}: {busy} "
-                f"(utilization {occ['utilization']:.0%})"
-            )
+            lines.append(f"  fused/unfused throughput: {pairs}")
+        for occ_key in ("occupancy", "occupancy_fused"):
+            occ = backends.get(occ_key)
+            if occ:
+                busy = ", ".join(
+                    f"w{w}={v:.3f}s"
+                    for w, v in occ["per_worker_busy"].items()
+                )
+                psu = occ.get("parallel_stage_utilization")
+                psu_part = (
+                    f", parallel stages {psu:.1%}" if psu is not None else ""
+                )
+                lines.append(
+                    f"  {occ_key} x{occ['workers']}: {busy} "
+                    f"(utilization {occ['utilization']:.0%}{psu_part})"
+                )
     faults = payload.get("faults")
     if faults:
         lines.append(f"fault recovery (probe, x{faults['workers']}):")

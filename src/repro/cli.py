@@ -166,6 +166,22 @@ def cmd_expand(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fusion_report(runtime) -> None:
+    report = getattr(runtime, "fusion_report", None)
+    if report is None:
+        return
+    print(
+        f"chain fusion ({report.backend}): {report.fused_node_count} fused "
+        f"kernel(s), {len(report.internal_streams)} stream(s) made "
+        f"worker-local"
+    )
+    if report.backend != report.requested_backend:
+        print(
+            f"  note: backend {report.requested_backend!r} unavailable, "
+            f"fell back to {report.backend!r}"
+        )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.components.registry import default_registry
 
@@ -179,6 +195,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.spec)
     registry = default_registry(impls=impls or None)
     workers = args.workers if args.workers is not None else args.nodes
+    if args.fuse and args.backend == "sim":
+        print("--fuse applies to the threaded and process backends only",
+              file=sys.stderr)
+        return 2
     if args.backend == "threaded":
         from repro.hinch import ThreadedRuntime
 
@@ -188,6 +208,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             nodes=workers,
             pipeline_depth=args.pipeline_depth,
             max_iterations=args.iterations,
+            fuse=args.fuse,
+            fuse_backend=args.fuse_backend,
         )
         result = runtime.run()
         print(
@@ -195,10 +217,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{result.elapsed_seconds:.3f}s on {workers} worker thread(s); "
             f"{result.reconfig_count} reconfiguration(s)"
         )
+        _print_fusion_report(runtime)
     elif args.backend == "process":
         from repro.hinch import ProcessRuntime
 
-        result = ProcessRuntime(
+        runtime = ProcessRuntime(
             program,
             registry,
             workers=workers,
@@ -209,7 +232,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
             respawn=not args.no_respawn,
             faults=args.inject_fault,
-        ).run()
+            fuse=args.fuse,
+            fuse_backend=args.fuse_backend,
+        )
+        result = runtime.run()
         fps = (
             result.completed_iterations / result.elapsed_seconds
             if result.elapsed_seconds > 0
@@ -226,6 +252,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 counts[event["kind"]] = counts.get(event["kind"], 0) + 1
             summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
             print(f"fault recovery: {summary}")
+        _print_fusion_report(runtime)
     else:
         from repro.spacecake import SimRuntime
 
@@ -499,6 +526,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pick a registered implementation for a component "
                         "class, e.g. --impl downscale_field=strided "
                         "(repeatable; see docs/formats.md)")
+    p.add_argument("--fuse", action="store_true",
+                   help="threaded/process backends: compile provable linear "
+                        "chains into single-dispatch fused kernels; "
+                        "intermediate planes stay worker-local (see "
+                        "docs/performance.md §Chain fusion)")
+    p.add_argument("--fuse-backend", choices=("numpy", "numba"),
+                   default="numpy",
+                   help="fused-kernel codegen backend; 'numba' falls back "
+                        "to numpy when numba is not installed (default: "
+                        "numpy)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("predict", help="analytic performance estimate")

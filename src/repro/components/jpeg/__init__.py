@@ -41,6 +41,7 @@ from repro.components.jpeg.codec import (
     decode_frame,
     encode_frame,
     entropy_decode_frame,
+    fused_dct_quant_zigzag,
     idct_plane,
 )
 
@@ -65,5 +66,6 @@ __all__ = [
     "encode_frame",
     "decode_frame",
     "entropy_decode_frame",
+    "fused_dct_quant_zigzag",
     "idct_plane",
 ]

@@ -103,6 +103,25 @@ class _SlicedMixin:
         return lo * block, hi * block
 
 
+def _instance_rows(
+    instance: ComponentInstance, height: int, *, block: int = 1
+) -> tuple[int, int] | None:
+    """Build-time twin of :meth:`_SlicedMixin.rows` over a descriptor.
+
+    Used by the ``writes_rows``/``reads_rows`` access contracts, which the
+    chain-fusion compiler evaluates before any component object exists.
+    Returns ``None`` instead of raising when the height does not divide.
+    """
+    if instance.slice is None:
+        return 0, height
+    if height % block:
+        return None
+    index, total = instance.slice
+    units = height // block
+    lo, hi = filters.slice_rows(units, index, total)
+    return lo * block, hi * block
+
+
 # ---------------------------------------------------------------------------
 # Sources
 # ---------------------------------------------------------------------------
@@ -219,27 +238,76 @@ class MjpegSource(Component):
     def __init__(self, instance: ComponentInstance) -> None:
         super().__init__(instance)
         self._cache: dict[int, jpeg_codec.EncodedFrame] = {}
+        #: per-index (field, zz, qtable, w, h) tuples for the fused
+        #: source+decode kernel; int32 zigzag coefficients, not decoded
+        #: planes, so memory stays near the compressed-frame cache
+        self._zz_cache: dict[int, tuple] = {}
 
-    def run(self, job: JobContext) -> None:
-        index = job.iteration
+    def frame_index(self, iteration: int) -> int:
+        """Source frame index for one iteration (``frames`` wraps)."""
         limit = self.param("frames")
         if limit is not None:
-            index %= int(limit)
+            return iteration % int(limit)
+        return iteration
+
+    def _synthesize(self, index: int):
+        return synthetic_frame(
+            index,
+            int(self.require_param("width")),
+            int(self.require_param("height")),
+            seed=int(self.param("seed", 0)),
+            detail=float(self.param("detail", 0.5)),
+            motion=int(self.param("motion", 4)),
+        )
+
+    def run(self, job: JobContext) -> None:
+        index = self.frame_index(job.iteration)
         encoded = self._cache.get(index)
         if encoded is None:
-            frame = synthetic_frame(
-                index,
-                int(self.require_param("width")),
-                int(self.require_param("height")),
-                seed=int(self.param("seed", 0)),
-                detail=float(self.param("detail", 0.5)),
-                motion=int(self.param("motion", 4)),
-            )
             encoded = jpeg_codec.encode_frame(
-                frame, quality=int(self.param("quality", 75))
+                self._synthesize(index),
+                quality=int(self.param("quality", 75)),
             )
             self._cache[index] = encoded
         job.write("output", encoded)
+
+    def transcoded_coefficients(
+        self, iteration: int, backend: str = "numpy"
+    ) -> dict[str, jpeg_codec.PlaneCoefficients]:
+        """Decoded coefficients without the Huffman round-trip.
+
+        Bit-identical to ``entropy_decode_frame(encode_frame(frame))``
+        (see :func:`~repro.components.jpeg.codec.coefficients_from_zigzag`);
+        only the int32 zigzag stage is cached, and each call materializes
+        fresh dequantized blocks — exactly the allocation behaviour of
+        the real decoder, so downstream consumers see equivalent objects.
+        """
+        index = self.frame_index(iteration)
+        entry = self._zz_cache.get(index)
+        if entry is None:
+            frame = self._synthesize(index)
+            quality = int(self.param("quality", 75))
+            luma_q = jpeg_codec.scale_qtable(jpeg_codec.LUMA_QTABLE, quality)
+            chroma_q = jpeg_codec.scale_qtable(
+                jpeg_codec.CHROMA_QTABLE, quality
+            )
+            entry = tuple(
+                (field, jpeg_codec.quantize_plane(plane, qtable,
+                                                  backend=backend),
+                 qtable, plane.shape[1], plane.shape[0])
+                for field, plane, qtable in (
+                    ("y", frame.y, luma_q),
+                    ("u", frame.u, chroma_q),
+                    ("v", frame.v, chroma_q),
+                )
+            )
+            self._zz_cache[index] = entry
+        return {
+            field: jpeg_codec.coefficients_from_zigzag(
+                zz, qtable, width=w, height=h
+            )
+            for field, zz, qtable, w, h in entry
+        }
 
 
 class TimerSource(Component):
@@ -318,6 +386,37 @@ class JpegDecode(Component):
         job.write("coeffs_u", coeffs["u"])
         job.write("coeffs_v", coeffs["v"])
 
+    @classmethod
+    def compile_fused_pair(
+        cls,
+        upstream_cls: type[Component],
+        upstream: ComponentInstance,
+        instance: ComponentInstance,
+        backend: str,
+    ):
+        """Fused source+decode: skip the Huffman round-trip entirely.
+
+        When the upstream chain member is the MJPEG source, the
+        bitstream between them is chain-internal and provably a lossless
+        detour — canonical Huffman, RLE and DC prediction invert exactly
+        on the int32 zigzag coefficients — so the combined kernel goes
+        pixels -> DCT -> quantize -> dequantize directly
+        (:meth:`MjpegSource.transcoded_coefficients`), bit-identical to
+        encode-then-entropy-decode at a fraction of the work.
+        """
+        if not issubclass(upstream_cls, MjpegSource):
+            return None
+
+        def kernel(source, decode, src_job, job):
+            coeffs = source.transcoded_coefficients(
+                src_job.iteration, backend
+            )
+            job.write("coeffs_y", coeffs["y"])
+            job.write("coeffs_u", coeffs["u"])
+            job.write("coeffs_v", coeffs["v"])
+
+        return kernel
+
 
 class IdctField(Component, _SlicedMixin):
     """IDCT of one field; data-parallel over block-aligned row slices."""
@@ -346,6 +445,14 @@ class IdctField(Component, _SlicedMixin):
                 PortTraffic("output", int(pixels), True),
             ),
         )
+
+    @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "output":
+            return _instance_rows(instance, height, block=8)
+        return super().writes_rows(instance, port, height)
 
     def run(self, job: JobContext) -> None:
         coeffs: jpeg_codec.PlaneCoefficients = job.read("coeffs")
@@ -391,6 +498,28 @@ class DownscaleField(Component, _SlicedMixin):
                 PortTraffic("output", int(out_px), True),
             ),
         )
+
+    @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "output":
+            return _instance_rows(instance, height)
+        return super().writes_rows(instance, port, height)
+
+    @classmethod
+    def reads_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "input":
+            # The box filter reads exactly the input band that maps onto
+            # this copy's output rows: [lo*factor, hi*factor).
+            factor = int(instance.params["factor"])
+            span = _instance_rows(instance, height // factor)
+            if span is None:
+                return None
+            return span[0] * factor, span[1] * factor
+        return super().reads_rows(instance, port, height)
 
     def run(self, job: JobContext) -> None:
         src: np.ndarray = job.read("input")
@@ -469,6 +598,26 @@ class BlendField(Component, _SlicedMixin):
             ),
         )
 
+    @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "output":
+            return _instance_rows(instance, height)
+        return super().writes_rows(instance, port, height)
+
+    @classmethod
+    def reads_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "background":
+            # blend_plane copies background[lo:hi] and overlays only the
+            # intersection with that band — the slice reads nothing else.
+            return _instance_rows(instance, height)
+        # The overlay lands at a reconfigurable position: a sliced copy may
+        # read any of its rows, so no contract (fusion keeps it external).
+        return super().reads_rows(instance, port, height)
+
     def _position(self) -> tuple[int, int]:
         pos = self.param("pos")
         if pos is not None:  # set via reconfiguration request "pos=r,c"
@@ -526,6 +675,48 @@ class ConvertPlane(Component, _SlicedMixin):
             ),
         )
 
+    @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "output":
+            return _instance_rows(instance, height)
+        return super().writes_rows(instance, port, height)
+
+    @classmethod
+    def reads_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "input":
+            return _instance_rows(instance, height)
+        return super().reads_rows(instance, port, height)
+
+    @classmethod
+    def compile_fused(cls, instance: ComponentInstance, backend: str):
+        if backend != "numba":
+            return None
+        try:
+            import numba
+        except Exception:
+            return None
+        try:
+            kernel = numba.njit(cache=False)(_convert_band)
+        except Exception:
+            return None
+
+        def run(component: "ConvertPlane", job: JobContext) -> None:
+            src: np.ndarray = job.read("input")
+            dtype = np.dtype(str(component.require_param("dtype")))
+            out = job.buffer("output", shape=src.shape, dtype=dtype)
+            lo, hi = component.rows(src.shape[0])
+            scale = component.param("scale")
+            use_scale = scale is not None
+            kernel(src, out, lo, hi,
+                   float(scale) if use_scale else 1.0, use_scale)
+            job.note_written((hi - lo) * src.shape[1])
+
+        return run
+
     def run(self, job: JobContext) -> None:
         src: np.ndarray = job.read("input")
         dtype = np.dtype(str(self.require_param("dtype")))
@@ -537,6 +728,21 @@ class ConvertPlane(Component, _SlicedMixin):
             view = view * float(scale)
         np.copyto(out[lo:hi], view, casting="unsafe")
         job.note_written((hi - lo) * src.shape[1])
+
+
+def _convert_band(src, out, lo, hi, scale, use_scale):
+    """Loop-style dtype conversion kernel, njit-compilable as-is.
+
+    Elementwise C-cast assignment matches the reference implementation's
+    ``np.copyto(..., casting="unsafe")`` bit-for-bit, with and without the
+    float pre-multiply.
+    """
+    for r in range(lo, hi):
+        for c in range(src.shape[1]):
+            if use_scale:
+                out[r, c] = src[r, c] * scale
+            else:
+                out[r, c] = src[r, c]
 
 
 class _BlurBase(Component, _SlicedMixin):
@@ -573,9 +779,27 @@ class _BlurBase(Component, _SlicedMixin):
             int(self.require_param("size")), float(self.param("sigma", 1.0))
         )
 
+    @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        if port == "output":
+            return _instance_rows(instance, height)
+        return super().writes_rows(instance, port, height)
+
 
 class BlurHField(_BlurBase):
     """Horizontal phase of the separable Gaussian blur."""
+
+    @classmethod
+    def reads_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        # Horizontal taps stay within the row; only the vertical phase
+        # reads a halo (and therefore inherits the None default).
+        if port == "input":
+            return _instance_rows(instance, height)
+        return super().reads_rows(instance, port, height)
 
     def run(self, job: JobContext) -> None:
         src: np.ndarray = job.read("input")

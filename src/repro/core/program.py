@@ -184,6 +184,10 @@ class ProgramGraph:
     aliases: dict[str, str]  # pre-bypass stream name -> effective name
     option_states: dict[str, bool]
     active_components: tuple[str, ...]
+    #: instance ids inside crossdep regions — their halo edges encode a
+    #: sparser ordering than the stream tables suggest, so graph rewrites
+    #: (grouping, fusion) must not merge across them
+    crossdep_nodes: frozenset[str] = frozenset()
 
     def resolve_stream(self, name: str) -> str:
         return self.aliases.get(name, name)
@@ -289,6 +293,7 @@ class Program:
                         graph.add_edge(s, t)
 
         active: list[str] = []
+        crossdep_members: set[str] = set()
 
         def lower(node: IRNode) -> tuple[list[str], list[str]]:
             """Returns (sources, sinks); ([], []) when fully disabled."""
@@ -323,6 +328,7 @@ class Program:
                     sinks.extend(c_snk)
                 return sources, sinks
             if isinstance(node, IRCrossdep):
+                mark = len(active)
                 region_sources: list[str] = []
                 prev_copies: list[tuple[list[str], list[str]]] = []
                 for j, pb in enumerate(node.parblocks):
@@ -340,6 +346,7 @@ class Program:
                                             graph.add_edge(snk, src)
                     prev_copies = copies
                 region_sinks = [s for _, snks in prev_copies for s in snks]
+                crossdep_members.update(active[mark:])
                 return region_sources, region_sinks
             if isinstance(node, IRManager):
                 c_src, c_snk = lower(node.child)
@@ -381,6 +388,7 @@ class Program:
             aliases=aliases,
             option_states=states,
             active_components=tuple(active),
+            crossdep_nodes=frozenset(crossdep_members),
         )
 
     # -- stream wiring -------------------------------------------------------

@@ -46,6 +46,74 @@ class Component:
     always_execute: bool = False
 
     @classmethod
+    def writes_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        """Row span ``[lo, hi)`` this copy writes on output ``port``.
+
+        The chain-fusion compiler (:mod:`repro.hinch.fusion`) uses this
+        access contract to prove that a sliced consumer only reads rows
+        its paired producer copy wrote, so the intermediate plane can
+        stay a worker-local temporary.  Unsliced copies write the whole
+        plane; sliced copies default to ``None`` (unknown), which makes
+        fusion refuse — override for components with a provable span.
+        """
+        if instance.slice is None:
+            return (0, height)
+        return None
+
+    @classmethod
+    def reads_rows(
+        cls, instance: ComponentInstance, port: str, height: int
+    ) -> tuple[int, int] | None:
+        """Row span ``[lo, hi)`` this copy reads on input ``port``.
+
+        Counterpart of :meth:`writes_rows`; same ``None`` = unknown
+        semantics.  ``height`` is the full plane height of the stream
+        bound to ``port`` (from the reconciled X5xx format solution).
+        """
+        if instance.slice is None:
+            return (0, height)
+        return None
+
+    @classmethod
+    def compile_fused(cls, instance: ComponentInstance, backend: str):
+        """Optional compiled replacement for :meth:`run` inside a fused chain.
+
+        The fusion compiler calls this per member when building a
+        :class:`~repro.hinch.fusion.FusedChain` with a non-default
+        backend (``--fuse-backend numba``).  Return a callable
+        ``(component, job) -> None`` to substitute for ``run``, or
+        ``None`` (the default) to keep the interpreted numpy kernel —
+        the automatic-fallback contract: a missing dependency or an
+        uncompilable kernel must yield ``None``, never raise.
+        """
+        return None
+
+    @classmethod
+    def compile_fused_pair(
+        cls,
+        upstream_cls: type["Component"],
+        upstream: ComponentInstance,
+        instance: ComponentInstance,
+        backend: str,
+    ):
+        """Optional combined kernel replacing ``upstream.run`` + ``run``.
+
+        Called on the *downstream* class when two adjacent members of a
+        fused chain are connected only through chain-internal streams —
+        the combined kernel may then skip materializing the intermediate
+        entirely, including provably-lossless detours (the mini-JPEG
+        Huffman round-trip between ``mjpeg_source`` and ``jpeg_decode``).
+        Return a callable ``(upstream_component, component,
+        upstream_job, job) -> None`` whose observable effects (stream
+        writes, events, state) are bit-identical to running both members
+        in order, or ``None`` (the default).  Same no-raise fallback
+        contract as :meth:`compile_fused`.
+        """
+        return None
+
+    @classmethod
     def cost_profile(cls, instance: ComponentInstance) -> Any | None:
         """Intrinsic cost of one job (a ``spacecake.costmodel.JobCost``).
 

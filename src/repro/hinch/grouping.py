@@ -30,6 +30,22 @@ taken the consumer anyway (the lease is retracted job-by-job if the
 worker dies, and follow-ons are skipped while idle workers could use
 them).  Grouping trades parallelism for locality statically and
 visibly; batching recovers most of the locality with no graph change.
+
+Chain *fusion* (:mod:`repro.hinch.fusion`, ``--fuse``) is the third and
+strongest reading of the §4.1 quote: where grouping merges chains that
+are linear *in the graph* (rare once sliced stages meet at barriers),
+fusion proves through the components' row-access contracts that each
+consumer copy reads only its paired producer copy's band, merges the
+pair even though the graph shows a barrier between the stages, and
+compiles the chain so the intermediate plane never leaves the worker —
+not merely "still in the cache" but never in the stream store at all.
+
+A chain must never cross a *control* node (managers, barriers), a
+*crossdep* consumer (its halo edges encode a sparser ordering than
+producer+consumer), or an *option-configuration* boundary (the members
+would splice at different times): :func:`find_linear_chains` refuses all
+three, so both the §4.1 rewrite and the X401 lint only propose chains
+that every backend can actually schedule as one entity.
 """
 
 from __future__ import annotations
@@ -42,15 +58,23 @@ __all__ = ["group_linear_chains", "find_linear_chains", "GROUP_SEPARATOR"]
 GROUP_SEPARATOR = "+"
 
 
-def find_linear_chains(graph: TaskGraph) -> list[list[str]]:
+def find_linear_chains(
+    graph: TaskGraph,
+    crossdep_nodes: frozenset[str] | set[str] = frozenset(),
+) -> list[list[str]]:
     """Maximal linear chains of fusable task nodes (length >= 2).
 
     Public so the lint pass (X401, ``repro.analysis.perf``) can point at
-    fusion opportunities without committing to the rewrite.
+    fusion opportunities without committing to the rewrite.  A chain
+    refuses to cross control nodes (non-task kinds), crossdep members
+    (``crossdep_nodes``, from :attr:`ProgramGraph.crossdep_nodes`), or an
+    option-configuration boundary (members with different option sets
+    would splice at different times).
     """
 
     def fusable_edge(u: str, v: str) -> bool:
         nu, nv = graph.node(u), graph.node(v)
+        # control nodes (managers, barriers) are never chain members
         if nu.kind != "task" or nv.kind != "task":
             return False
         if graph.out_degree(u) != 1 or graph.in_degree(v) != 1:
@@ -60,6 +84,16 @@ def find_linear_chains(graph: TaskGraph) -> list[list[str]]:
         if not isinstance(pu, ComponentInstance) or not isinstance(
             pv, ComponentInstance
         ):
+            return False
+        # crossdep members: the halo edges encode a sparser ordering
+        # than producer+consumer; merging would serialize the region
+        if u in crossdep_nodes or v in crossdep_nodes:
+            return False
+        # option boundaries: members spliced by different reconfigurations
+        # cannot be one scheduled entity
+        if pu.options != pv.options:
+            return False
+        if pu.manager != pv.manager:
             return False
         return pu.slice == pv.slice
 
@@ -95,7 +129,7 @@ def group_linear_chains(pg: ProgramGraph) -> ProgramGraph:
     option states) is shared with the input.
     """
     graph = pg.graph
-    chains = find_linear_chains(graph)
+    chains = find_linear_chains(graph, pg.crossdep_nodes)
     if not chains:
         return pg
     member_of: dict[str, str] = {}
@@ -140,4 +174,5 @@ def group_linear_chains(pg: ProgramGraph) -> ProgramGraph:
         aliases=pg.aliases,
         option_states=pg.option_states,
         active_components=pg.active_components,
+        crossdep_nodes=pg.crossdep_nodes,
     )

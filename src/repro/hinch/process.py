@@ -87,7 +87,7 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.program import Program, ProgramGraph
+from repro.core.program import ComponentInstance, Program, ProgramGraph
 from repro.errors import (
     SchedulingError,
     StreamError,
@@ -97,11 +97,12 @@ from repro.errors import (
 from repro.hinch.component import Component, JobContext
 from repro.hinch.events import Event, EventBroker
 from repro.hinch.faults import FaultInjector, FaultSpec, coerce_injector
+from repro.hinch.fusion import FusedChain, FusionReport, run_fused
 from repro.hinch.jobqueue import Job, JobQueue
 from repro.hinch.manager import ManagerRuntime
 from repro.hinch.runtime import ComponentHost, RunResult
 from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
-from repro.hinch.shm import Packed, PlaneRef, SharedPlanePool
+from repro.hinch.shm import NameInterner, Packed, PlaneRef, SharedPlanePool
 from repro.hinch.stream import StreamStore
 from repro.hinch.tracing import TraceEvent, Tracer
 
@@ -342,19 +343,33 @@ class _Worker:
         pg: ProgramGraph,
         group_chains: bool,
         worker_id: int,
+        overrides: Mapping[str, ComponentInstance] | None = None,
+        fuse: bool = False,
+        fuse_backend: str = "numpy",
     ) -> None:
         self.conn = conn
         self.program = program
         self.registry = registry
         self.group_chains = group_chains
+        self.fuse = fuse
+        self.fuse_backend = fuse_backend
         self.worker_id = worker_id
         self.pool = _RemotePlanePool(self.rpc)
-        # The dispatcher's already-built (and already-grouped) graph is
+        # The dispatcher's already-built (grouped/fused) graph is
         # inherited through fork copy-on-write — rebuilding it here would
         # add parse/group latency to every spawn and respawn.  A splice
         # rebuilds locally (the new option states arrive by message).
         self.pg = pg
+        #: control-pipe pickler sharing the dispatcher's name table
+        #: (derived deterministically from the same graph on both ends)
+        self.interner = NameInterner(NameInterner.names_of(pg))
+        self._plain = NameInterner()
+        #: per-fused-node temps/kernels; discarded on splice
+        self._fused_caches: dict[str, dict[str, Any]] = {}
         self.host = ComponentHost(program, registry)
+        # Overrides (auto-inserted converters, rebound readers) must be
+        # installed before populate: active ids resolve through them.
+        self.host.overrides = dict(overrides or {})
         self.host.populate(self.pg.active_components)
         #: (stream name, iteration) -> live value produced or mapped by
         #: this worker; lets a lease reference data already here by name
@@ -366,12 +381,53 @@ class _Worker:
         self.rpc_wait = 0.0
 
     def _make_pg(self, option_states: Mapping[str, bool]) -> ProgramGraph:
+        """Rebuild the graph after a splice — the dispatcher's pipeline.
+
+        Must match :meth:`ProcessRuntime._make_pg` step for step (format
+        solve, converter insertion, grouping, fusion): both sides derive
+        the post-splice graph independently from the option states, and
+        node ids, overrides and the interner table must agree.
+        """
         pg = self.program.build_graph(option_states)
+        from repro.analysis.diagnostics import DiagnosticBag
+        from repro.analysis.formats import (
+            auto_insert_converters,
+            check_formats,
+            runtime_expectations,
+        )
+
+        solution = check_formats(DiagnosticBag(), self.program, pg)
+        expectations = runtime_expectations(self.program, pg, solution=solution)
+        pg, overrides, expectations = auto_insert_converters(
+            self.program, pg, self.registry, expectations, solution
+        )
+        self.host.overrides = overrides
         if self.group_chains:
             from repro.hinch.grouping import group_linear_chains
 
             pg = group_linear_chains(pg)
+        if self.fuse:
+            from repro.hinch.fusion import fuse_chains
+
+            pg, _ = fuse_chains(
+                pg, self.program, self.registry, expectations,
+                self.fuse_backend,
+            )
+        self._fused_caches = {}
         return pg
+
+    # -- control pipe --------------------------------------------------------
+
+    def _send(self, msg: tuple[Any, ...], *, interned: bool = True) -> None:
+        coder = self.interner if interned else self._plain
+        data = coder.dumps(msg)
+        self.pool.stats.meta_pickled_bytes += len(data) + 1
+        self.conn.send_bytes((b"\x01" if interned else b"\x00") + data)
+
+    def _recv(self) -> Any:
+        raw = self.conn.recv_bytes()
+        coder = self.interner if raw[:1] == b"\x01" else self._plain
+        return coder.loads(raw[1:])
 
     # -- dispatcher RPC -----------------------------------------------------
 
@@ -387,9 +443,9 @@ class _Worker:
         """
         t0 = time.perf_counter()
         try:
-            self.conn.send(request)
+            self._send(request)
             while True:
-                reply = self.conn.recv()
+                reply = self._recv()
                 if reply[0] == "rpc":
                     return reply[1]
                 self._handle_control(reply)
@@ -408,6 +464,10 @@ class _Worker:
             new_pg = self._make_pg(msg[1])
             self.host.splice(new_pg.active_components, {})
             self.pg = new_pg
+            # Same table the dispatcher derives from its own rebuild;
+            # control messages themselves are never interned, so the
+            # swap cannot race the splice that carries it.
+            self.interner.set_table(NameInterner.names_of(new_pg))
         else:  # pragma: no cover - protocol error
             raise SchedulingError(f"worker got unexpected message {tag!r}")
 
@@ -457,19 +517,35 @@ class _Worker:
 
         self.current_node = node_id
         self.rpc_wait = 0.0
+        member_times: list[tuple[str, float, float]] | None = None
         start = time.perf_counter()
         cpu_start = time.process_time()
-        for instance in instances:
-            component = self.host.live[instance.instance_id]
-            ctx = JobContext(
-                instance,
+        if isinstance(payload, FusedChain):
+            # Single dispatch for the whole chain: intermediate planes
+            # stay process-local temporaries, external reads/writes go
+            # through the normal per-job stream facade.
+            member_times = run_fused(
+                payload,
                 iteration,
                 ws,  # type: ignore[arg-type] - StreamStore duck type
                 broker,  # type: ignore[arg-type] - EventBroker duck type
                 self.pg.aliases,
+                self.host.live,
                 stop_requester=request_stop,
+                cache=self._fused_caches.setdefault(node_id, {}),
             )
-            component.run(ctx)
+        else:
+            for instance in instances:
+                component = self.host.live[instance.instance_id]
+                ctx = JobContext(
+                    instance,
+                    iteration,
+                    ws,  # type: ignore[arg-type] - StreamStore duck type
+                    broker,  # type: ignore[arg-type] - EventBroker duck type
+                    self.pg.aliases,
+                    stop_requester=request_stop,
+                )
+                component.run(ctx)
         # "Busy" time for the dispatcher's CPU-bound classification: CPU
         # burned plus time stalled on dispatcher RPCs — the latter is
         # coordination contention, not a kernel yielding the processor,
@@ -495,7 +571,7 @@ class _Worker:
         for name, buf in ws.ensured.items():
             self.resident[(name, iteration)] = buf
         return (iteration, node_id, ws.outputs, events, stop_requested,
-                start, end, cpu, state_updates)
+                start, end, cpu, state_updates, member_times)
 
     def _run_lease(
         self,
@@ -524,14 +600,14 @@ class _Worker:
             record = self._run_job(iteration, node_id, inputs, resident,
                                    ensured, fault)
             unused = self.pool.take_unused_grants() if index == last else None
-            self.conn.send(("done", record, unused))
+            self._send(("done", record, unused))
 
     # -- main loop -----------------------------------------------------------
 
     def main(self) -> None:
         try:
             while True:
-                msg = self.conn.recv()
+                msg = self._recv()
                 tag = msg[0]
                 if tag == "lease":
                     self._run_lease(msg[1], msg[2], msg[3])
@@ -542,7 +618,7 @@ class _Worker:
                         if state is not None:
                             snapshots[instance_id] = state
                     stats = self.pool.stats.as_dict()
-                    self.conn.send(
+                    self._send(
                         ("bye", snapshots,
                          {k: stats[k] for k in _WORKER_STAT_KEYS})
                     )
@@ -552,10 +628,10 @@ class _Worker:
         except BaseException as exc:
             tb = traceback.format_exc()
             try:
-                self.conn.send(("error", exc, tb))
+                self._send(("error", exc, tb), interned=False)
             except Exception:
                 try:
-                    self.conn.send(("error", None, tb))
+                    self._send(("error", None, tb), interned=False)
                 except Exception:
                     pass
         finally:
@@ -570,8 +646,12 @@ def _worker_entry(
     pg: ProgramGraph,
     group_chains: bool,
     worker_id: int,
+    overrides: Mapping[str, ComponentInstance] | None = None,
+    fuse: bool = False,
+    fuse_backend: str = "numpy",
 ) -> None:
-    _Worker(conn, program, registry, pg, group_chains, worker_id).main()
+    _Worker(conn, program, registry, pg, group_chains, worker_id,
+            overrides, fuse, fuse_backend).main()
 
 
 # ---------------------------------------------------------------------------
@@ -652,6 +732,8 @@ class ProcessRuntime:
         trace: bool = False,
         option_states: Mapping[str, bool] | None = None,
         group_chains: bool = False,
+        fuse: bool = False,
+        fuse_backend: str = "numpy",
         batch: int = 1,
         watchdog: float | None = None,
         max_retries: int = 2,
@@ -673,6 +755,9 @@ class ProcessRuntime:
         self.pipeline_depth = pipeline_depth
         self.max_iterations = max_iterations
         self.group_chains = group_chains
+        self.fuse = fuse
+        self.fuse_backend = fuse_backend
+        self.fusion_report: FusionReport | None = None
         self.watchdog = watchdog
         self.max_retries = max_retries
         self.respawn = respawn
@@ -684,6 +769,11 @@ class ProcessRuntime:
         self.host = ComponentHost(program, registry)
 
         self.pg: ProgramGraph = self._make_pg(program, option_states)
+        #: control-pipe pickler; workers derive the identical table from
+        #: the same graph (forked or rebuilt), so name strings travel as
+        #: small integer codes
+        self.interner = NameInterner(NameInterner.names_of(self.pg))
+        self._plain = NameInterner()
         self._target_states: dict[str, bool] = dict(self.pg.option_states)
         self._precreated: dict[str, Component] = {}
         self.host.populate(self.pg.active_components)
@@ -764,14 +854,32 @@ class ProcessRuntime:
         pg = program.build_graph(option_states)
         # Reconciled port formats become the streams' authoritative buffer
         # expectations; recomputed per configuration so a splice installs
-        # the new solution.
-        from repro.analysis.formats import runtime_expectations
+        # the new solution.  The same pipeline runs worker-side after a
+        # splice (:meth:`_Worker._make_pg`) — keep the steps in lockstep.
+        from repro.analysis.diagnostics import DiagnosticBag
+        from repro.analysis.formats import (
+            auto_insert_converters,
+            check_formats,
+            runtime_expectations,
+        )
 
-        self.streams.set_expectations(runtime_expectations(program, pg))
+        solution = check_formats(DiagnosticBag(), program, pg)
+        expectations = runtime_expectations(program, pg, solution=solution)
+        pg, overrides, expectations = auto_insert_converters(
+            program, pg, self.registry, expectations, solution
+        )
+        self.host.overrides = overrides
+        self.streams.set_expectations(expectations)
         if self.group_chains:
             from repro.hinch.grouping import group_linear_chains
 
             pg = group_linear_chains(pg)
+        if self.fuse:
+            from repro.hinch.fusion import fuse_chains
+
+            pg, self.fusion_report = fuse_chains(
+                pg, program, self.registry, expectations, self.fuse_backend
+            )
         return pg
 
     # -- SchedulerHooks ------------------------------------------------------
@@ -809,6 +917,11 @@ class ProcessRuntime:
         # is already the new graph, so a worker respawned by a send
         # failure here forks with the post-splice option states baked in.
         self._broadcast(("splice", dict(states)))
+        # Intern table follows the graph.  Control messages (including
+        # the splice itself) are never interned and no lease or RPC can
+        # be in flight at quiescence, so nothing encoded with the old
+        # table remains undecoded when either side swaps.
+        self.interner.set_table(NameInterner.names_of(new_pg))
         return new_pg
 
     # -- ReconfigController --------------------------------------------------
@@ -863,9 +976,31 @@ class ProcessRuntime:
         """
         for slot in sorted(self._live):
             try:
-                self._conns[slot].send(msg)
+                self._send_to(slot, msg, interned=False)
             except OSError:
                 self._worker_failed(slot, "send failed (broken pipe)")
+
+    # -- control pipe --------------------------------------------------------
+
+    def _send_to(
+        self, slot: int, msg: tuple[Any, ...], *, interned: bool = True
+    ) -> None:
+        """Encode and send one message; control traffic goes un-interned.
+
+        Byte counts land in :attr:`PoolStats.meta_pickled_bytes` — together
+        with the worker-side counts shipped home at shutdown this makes
+        the counter the total control-plane pickle volume of the run,
+        which is what the interner exists to shrink.
+        """
+        coder = self.interner if interned else self._plain
+        data = coder.dumps(msg)
+        self.pool.stats.meta_pickled_bytes += len(data) + 1
+        self._conns[slot].send_bytes((b"\x01" if interned else b"\x00") + data)
+
+    def _recv_from(self, slot: int) -> Any:
+        raw = self._conns[slot].recv_bytes()
+        coder = self.interner if raw[:1] == b"\x01" else self._plain
+        return coder.loads(raw[1:])
 
     # -- event injection -----------------------------------------------------
 
@@ -1255,9 +1390,10 @@ class ProcessRuntime:
             # of n jobs never waits n windows for a wedged first job.
             self._deadlines[worker] = time.perf_counter() + self.watchdog
         try:
-            self._conns[worker].send(
+            self._send_to(
+                worker,
                 ("lease", entries, grants,
-                 self.scheduler.lowest_live_iteration)
+                 self.scheduler.lowest_live_iteration),
             )
         except OSError:
             # Worker died between going idle and this dispatch; the
@@ -1354,7 +1490,7 @@ class ProcessRuntime:
         job = lease.jobs[lease.done]
         deferred = lease.deferred[lease.done]
         (iteration, node_id, outputs, events, stop, start, end, cpu,
-         state_updates) = record
+         state_updates, member_times) = record
         if job.iteration != iteration or job.node_id != node_id:
             raise SchedulingError(
                 f"worker {worker} completed {node_id}@{iteration}, "
@@ -1409,6 +1545,21 @@ class ProcessRuntime:
                     kind="task",
                 )
             )
+            if member_times:
+                # constituent-node attribution inside the fused job
+                # (worker-local perf_counter timestamps: same clock
+                # domain as the whole-node event above)
+                for member_id, m_start, m_end in member_times:
+                    self.tracer.record(
+                        TraceEvent(
+                            node_id=member_id,
+                            iteration=iteration,
+                            worker=worker,
+                            start=m_start,
+                            end=m_end,
+                            kind="fused_member",
+                        )
+                    )
         if unused_grants is not None:
             # Final record of the lease: consumed grants became outputs
             # (stream-owned now), unconsumed ones go back to the pool.
@@ -1430,7 +1581,7 @@ class ProcessRuntime:
 
     def _rpc_reply(self, worker: int, value: Any) -> None:
         try:
-            self._conns[worker].send(("rpc", value))
+            self._send_to(worker, ("rpc", value))
         except OSError:
             self._worker_failed(worker, "send failed (broken pipe)")
 
@@ -1508,7 +1659,8 @@ class ProcessRuntime:
         proc = self._ctx.Process(
             target=_worker_entry,
             args=(child, self.program, self.registry, self.pg,
-                  self.group_chains, slot),
+                  self.group_chains, slot, dict(self.host.overrides),
+                  self.fuse, self.fuse_backend),
             name=f"hinch-proc-worker-{slot}.{incarnation}",
             daemon=True,
         )
@@ -1520,7 +1672,8 @@ class ProcessRuntime:
         self._live.add(slot)
         self._idle.add(slot)
         for manager, request in self._sent_reconfigs:
-            parent.send(("reconfigure", manager, request))
+            self._send_to(slot, ("reconfigure", manager, request),
+                          interned=False)
 
     def _record_fault(
         self,
@@ -1687,7 +1840,7 @@ class ProcessRuntime:
                 and self._incarnation[slot] == incarnation
                 and conn.poll()
             ):
-                self._on_message(slot, conn.recv())
+                self._on_message(slot, self._recv_from(slot))
         except (EOFError, OSError):
             # Only condemn the incarnation this pipe belongs to — the
             # slot may already hold its respawned (innocent) successor.
@@ -1759,14 +1912,13 @@ class ProcessRuntime:
         if graceful:
             for slot in sorted(self._live):
                 try:
-                    self._conns[slot].send(("stop",))
+                    self._send_to(slot, ("stop",), interned=False)
                 except Exception:
                     pass
             for slot in sorted(self._live):
-                conn = self._conns[slot]
                 try:
                     while True:
-                        msg = conn.recv()
+                        msg = self._recv_from(slot)
                         tag = msg[0]
                         if tag == "bye":
                             _, snapshots, stats = msg

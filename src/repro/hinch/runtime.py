@@ -16,10 +16,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.core.program import Program, ProgramGraph
+from repro.core.program import ComponentInstance, Program, ProgramGraph
 from repro.errors import SchedulingError
 from repro.hinch.component import Component, JobContext
 from repro.hinch.events import Event, EventBroker
+from repro.hinch.fusion import FusedChain, FusionReport, run_fused
 from repro.hinch.jobqueue import Job, JobQueue
 from repro.hinch.manager import ManagerRuntime
 from repro.hinch.scheduler import DataflowScheduler, ReconfigPlan
@@ -67,9 +68,14 @@ class ComponentHost:
         self.registry = registry
         self.live: dict[str, Component] = {}
         self.created_total = 0
+        #: build-time instance overrides: auto-inserted converters and
+        #: readers rebound to converted streams (program is never mutated)
+        self.overrides: dict[str, ComponentInstance] = {}
 
     def create(self, instance_id: str) -> Component:
-        instance = self.program.components[instance_id]
+        instance = self.overrides.get(instance_id)
+        if instance is None:
+            instance = self.program.components[instance_id]
         cls = self.registry[instance.class_name]
         component = cls(instance)
         component.setup()
@@ -118,6 +124,8 @@ class ThreadedRuntime:
         trace: bool = False,
         option_states: Mapping[str, bool] | None = None,
         group_chains: bool = False,
+        fuse: bool = False,
+        fuse_backend: str = "numpy",
     ) -> None:
         if nodes < 1:
             raise SchedulingError(f"nodes must be >= 1, got {nodes}")
@@ -126,6 +134,12 @@ class ThreadedRuntime:
         self.pipeline_depth = pipeline_depth
         self.max_iterations = max_iterations
         self.group_chains = group_chains
+        self.fuse = fuse
+        self.fuse_backend = fuse_backend
+        self.fusion_report: FusionReport | None = None
+        #: per-fused-node execution caches (intermediate temps, compiled
+        #: kernels); discarded whenever the graph is rebuilt
+        self._fused_caches: dict[str, dict[str, Any]] = {}
         self.broker = EventBroker()
         # Process-local plane pool: sliced-writer buffers are recycled
         # across iterations instead of reallocated (same pool class the
@@ -163,13 +177,35 @@ class ThreadedRuntime:
         # The reconciled port formats become each stream's authoritative
         # buffer expectation (replacing first-write inference); recomputed
         # here so reconfiguration installs the new configuration's solution.
-        from repro.analysis.formats import runtime_expectations
+        from repro.analysis.diagnostics import DiagnosticBag
+        from repro.analysis.formats import (
+            auto_insert_converters,
+            check_formats,
+            runtime_expectations,
+        )
 
-        self.streams.set_expectations(runtime_expectations(program, pg))
+        solution = check_formats(DiagnosticBag(), program, pg)
+        expectations = runtime_expectations(program, pg, solution=solution)
+        # X506 sites: bridge convertible dtype mismatches at build time;
+        # the rebound reader/converter instances live in host.overrides.
+        pg, overrides, expectations = auto_insert_converters(
+            program, pg, self.host.registry, expectations, solution
+        )
+        self.host.overrides = overrides
+        self.streams.set_expectations(expectations)
         if self.group_chains:
             from repro.hinch.grouping import group_linear_chains
 
             pg = group_linear_chains(pg)
+        if self.fuse:
+            from repro.hinch.fusion import fuse_chains
+
+            pg, self.fusion_report = fuse_chains(
+                pg, program, self.host.registry, expectations,
+                self.fuse_backend,
+            )
+        # fused temps/kernels are per-graph; reconfiguration rebuilds them
+        self._fused_caches = {}
         return pg
 
     # -- SchedulerHooks ------------------------------------------------------
@@ -243,22 +279,39 @@ class ThreadedRuntime:
     def _execute(self, job: Job, worker: int) -> None:
         node = self.pg.graph.node(job.node_id)
         start = time.perf_counter()
+        member_times: list[tuple[str, float, float]] | None = None
         if node.kind == "task":
             payload = node.payload
-            # Grouped nodes carry a tuple of instances: run them
-            # back-to-back as one scheduled entity (paper §4.1).
-            instances = payload if isinstance(payload, tuple) else (payload,)
-            for instance in instances:
-                component = self.host.live[instance.instance_id]
-                ctx = JobContext(
-                    instance,
+            if isinstance(payload, FusedChain):
+                # One dispatch for the whole chain; intermediate planes
+                # stay local to this job (repro.hinch.fusion).
+                member_times = run_fused(
+                    payload,
                     job.iteration,
                     self.streams,
                     self.broker,
                     self.pg.aliases,
+                    self.host.live,
                     stop_requester=self._request_stop,
+                    cache=self._fused_caches.setdefault(job.node_id, {}),
                 )
-                component.run(ctx)
+            else:
+                # Grouped nodes carry a tuple of instances: run them
+                # back-to-back as one scheduled entity (paper §4.1).
+                instances = (
+                    payload if isinstance(payload, tuple) else (payload,)
+                )
+                for instance in instances:
+                    component = self.host.live[instance.instance_id]
+                    ctx = JobContext(
+                        instance,
+                        job.iteration,
+                        self.streams,
+                        self.broker,
+                        self.pg.aliases,
+                        stop_requester=self._request_stop,
+                    )
+                    component.run(ctx)
         elif node.kind in ("manager_enter", "manager_exit"):
             manager = self.managers[node.payload]
             with self._lock:
@@ -276,6 +329,19 @@ class ThreadedRuntime:
                     kind=node.kind,
                 )
             )
+            if member_times:
+                # constituent-node attribution inside the fused job
+                for member_id, m_start, m_end in member_times:
+                    self.tracer.record(
+                        TraceEvent(
+                            node_id=member_id,
+                            iteration=job.iteration,
+                            worker=worker,
+                            start=m_start,
+                            end=m_end,
+                            kind="fused_member",
+                        )
+                    )
 
     def _request_stop(self) -> None:
         with self._lock:

@@ -12,7 +12,12 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "Tracer", "ATTRIBUTION_KINDS"]
+
+#: Event kinds that *attribute* time already covered by another event
+#: (fused-chain members run inside their fused job's span).  Occupancy
+#: analytics skip them or every fused second would count twice.
+ATTRIBUTION_KINDS = frozenset({"fused_member"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,7 +68,8 @@ class Tracer:
         return sum(
             e.duration
             for e in self.events
-            if worker is None or e.worker == worker
+            if e.kind not in ATTRIBUTION_KINDS
+            and (worker is None or e.worker == worker)
         )
 
     def makespan(self) -> float:
@@ -87,6 +93,8 @@ class Tracer:
         """
         totals: dict[int, float] = {}
         for e in self.events:
+            if e.kind in ATTRIBUTION_KINDS:
+                continue
             totals[e.worker] = totals.get(e.worker, 0.0) + e.duration
         return dict(sorted(totals.items()))
 

@@ -122,6 +122,27 @@ def test_committed_baseline_meets_the_probe_bar():
     assert compare(payload, payload) == []
 
 
+def test_committed_baseline_meets_the_fusion_bar():
+    """Chain fusion acceptance, pinned in the committed baseline.
+
+    JPiP is the fusable app (PiP/Blur refuse at this profile: sliced/
+    unsliced boundaries and crossdeps): the fused process backend must
+    hold >= 2x the unfused throughput at every width, shrink the
+    control-plane pickle volume, and lift the parallel stages' busy
+    fraction — their kernels are identical fused and unfused, so that
+    metric isolates the scheduling win from the peephole doing less
+    work per frame.
+    """
+    payload = json.loads((REPO_ROOT / "BENCH_runtime.json").read_text())
+    jpip = payload["apps"]["jpip"]
+    for key, ratio in jpip["fused_over_unfused"].items():
+        assert ratio >= 2.0, f"fused JPiP {key}: {ratio}x < 2x unfused"
+    occ, occf = jpip["occupancy"], jpip["occupancy_fused"]
+    assert occf["parallel_stage_utilization"] > occ["parallel_stage_utilization"]
+    assert occf["meta_pickled_bytes"] < occ["meta_pickled_bytes"]
+    assert occf["jobs"] < occ["jobs"]
+
+
 def test_render_report_mentions_every_cell():
     payload = _payload()
     payload["frames"] = 8

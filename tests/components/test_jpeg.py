@@ -28,8 +28,13 @@ from repro.components.jpeg import (
 )
 from repro.components.jpeg.codec import (
     EncodedFrame,
+    _blockify,
+    _encode_plane_scalar,
+    coefficients_from_zigzag,
     encode_plane,
     entropy_decode_plane,
+    fused_dct_quant_zigzag,
+    quantize_plane,
 )
 from repro.components.video import psnr, synthetic_clip
 from repro.errors import CodecError
@@ -284,6 +289,66 @@ def test_idct_rejects_unaligned_slice():
 def test_plane_indivisible_by_8_rejected():
     with pytest.raises(CodecError, match="divisible"):
         encode_plane(np.zeros((20, 20), dtype=np.uint8), LUMA_QTABLE)
+
+
+# -- fused encoder kernel (chain fusion, --fuse) ------------------------------
+
+
+def test_fused_dct_quant_zigzag_matches_staged_pipeline():
+    rng = np.random.default_rng(11)
+    for quality in (25, 75, 95):
+        plane = rng.integers(0, 256, size=(24, 32), dtype=np.uint8)
+        q = scale_qtable(LUMA_QTABLE, quality)
+        blocks = _blockify(plane) - 128.0
+        staged = zigzag_blocks(quantize(dct2_blocks(blocks), q))
+        fused = fused_dct_quant_zigzag(blocks, q)
+        assert fused.dtype == staged.dtype
+        assert np.array_equal(fused, staged)
+
+
+def test_fused_dct_quant_zigzag_rejects_bad_shape():
+    with pytest.raises(CodecError, match="8, 8"):
+        fused_dct_quant_zigzag(np.zeros((3, 4, 4)), LUMA_QTABLE)
+
+
+def test_fused_numba_backend_falls_back_bit_identically():
+    rng = np.random.default_rng(12)
+    blocks = _blockify(
+        rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+    ) - 128.0
+    q = scale_qtable(LUMA_QTABLE, 75)
+    assert np.array_equal(
+        fused_dct_quant_zigzag(blocks, q, backend="numba"),
+        fused_dct_quant_zigzag(blocks, q),
+    )
+
+
+def test_vectorized_encode_matches_scalar_reference():
+    rng = np.random.default_rng(13)
+    plane = rng.integers(0, 256, size=(16, 24), dtype=np.uint8)
+    q = scale_qtable(CHROMA_QTABLE, 60)
+    assert encode_plane(plane, q).pack() == _encode_plane_scalar(
+        plane, q
+    ).pack()
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**31 - 1), st.sampled_from([25, 50, 75, 95]))
+def test_prop_huffman_roundtrip_elision_is_lossless(seed, quality):
+    """quantize_plane -> coefficients_from_zigzag equals the real
+    encode -> entropy-decode path bit for bit: the foundation of the
+    fused source+decode kernel skipping the bitstream entirely."""
+    rng = np.random.default_rng(seed)
+    plane = rng.integers(0, 256, size=(16, 16), dtype=np.uint8)
+    q = scale_qtable(LUMA_QTABLE, quality)
+    via_bitstream = entropy_decode_plane(encode_plane(plane, q))
+    direct = coefficients_from_zigzag(
+        quantize_plane(plane, q), q, width=16, height=16
+    )
+    assert direct.width == via_bitstream.width
+    assert direct.height == via_bitstream.height
+    assert direct.blocks.dtype == via_bitstream.blocks.dtype
+    assert np.array_equal(direct.blocks, via_bitstream.blocks)
 
 
 @settings(max_examples=10, deadline=None)
