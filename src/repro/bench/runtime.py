@@ -49,8 +49,8 @@ from repro.hinch.tracing import ATTRIBUTION_KINDS
 
 __all__ = [
     "RuntimeProfile", "PROFILES", "collect", "compare", "render_report",
-    "DEFAULT_OUTPUT", "DEFAULT_MAX_REGRESSION", "build_sleep_probe",
-    "probe_registry",
+    "DEFAULT_OUTPUT", "DEFAULT_MAX_REGRESSION", "AUTOTUNE_MIN_RATIO",
+    "build_sleep_probe", "probe_registry",
 ]
 
 #: Written at the repo root; the committed copy is the CI baseline.
@@ -62,6 +62,14 @@ DEFAULT_OUTPUT = "BENCH_runtime.json"
 #: ``repeats`` runs absorb one-off stalls; the margin absorbs sustained
 #: CI neighbour noise.
 DEFAULT_MAX_REGRESSION = 0.35
+
+#: Elastic auto-tuning gate: the configuration the controller converges
+#: to must deliver at least this fraction of the best static grid cell's
+#: throughput (medians over ``repeats`` on both sides).  The gate is on
+#: the *converged* configuration, not the whole adaptive run — the run
+#: deliberately starts mis-tuned, so its wall clock prices in the very
+#: transients the controller exists to escape.
+AUTOTUNE_MIN_RATIO = 0.95
 
 
 @dataclass(frozen=True)
@@ -223,6 +231,7 @@ def _run_once(
     trace: bool = False,
     batch: int | None = None,
     fuse: bool = False,
+    autotune: bool = False,
 ) -> Any:
     if backend == "threaded":
         from repro.hinch import ThreadedRuntime
@@ -240,7 +249,7 @@ def _run_once(
             pipeline_depth=profile.pipeline_depth,
             max_iterations=profile.frames, trace=trace,
             batch=profile.batch if batch is None else batch,
-            fuse=fuse,
+            fuse=fuse, autotune=autotune,
         )
     else:
         raise ReproError(f"unknown backend {backend!r}")
@@ -370,15 +379,23 @@ def _measure_app(
             e.duration for e in trace.events
             if e.kind not in ATTRIBUTION_KINDS and "[" in e.node_id
         )
+        # Denominator honesty: lazy spawn (and elastic resize) mean the
+        # pool may never fork all ``widest`` slots — utilisation over
+        # the configured ceiling undercounts how busy the live workers
+        # were, so both ratios divide by workers that actually ran.
+        live = max(
+            result.workers_spawned or len(trace.workers_seen()), 1
+        )
         out[key] = {
             "workers": widest,
+            "workers_spawned": result.workers_spawned,
             "per_worker_busy": {
                 str(w): round(busy, 6)
                 for w, busy in trace.per_worker_busy().items()
             },
-            "utilization": round(trace.utilization(widest), 4),
+            "utilization": round(trace.utilization(live), 4),
             "parallel_stage_utilization": round(
-                sliced_busy / (span * widest), 4) if span > 0 else 0.0,
+                sliced_busy / (span * live), 4) if span > 0 else 0.0,
             "busy_seconds": round(trace.busy_time(), 6),
             "jobs": sum(
                 1 for e in trace.events if e.kind not in ATTRIBUTION_KINDS
@@ -486,6 +503,147 @@ def _measure_faults(profile: RuntimeProfile) -> dict[str, Any]:
     return out
 
 
+def _measure_autotune(profile: RuntimeProfile) -> dict[str, Any]:
+    """Closed-loop controller vs. a hand-tuned static grid (JPiP).
+
+    Three measurements, medians over ``repeats``:
+
+    * a static ``(workers, batch)`` grid with fusion on — the best cell
+      is what a careful human would ship;
+    * one adaptive run per repeat, deliberately started mis-tuned
+      (widest pool, ``batch=1``) so the controller has work to do;
+    * the configuration the *last* adaptive run converged to, re-run
+      statically — transition costs excluded, which is exactly the
+      claim under test ("does the controller land somewhere good?").
+
+    ``ratio`` is converged-over-best-static frames/sec and gates CI at
+    :data:`AUTOTUNE_MIN_RATIO` via :func:`compare`.  Wall times here
+    are deliberately *not* flattened by :func:`_wall_metrics`: the
+    section carries its own gate and the adaptive trajectory is
+    timing-dependent, so a baseline-delta check would only add noise.
+    """
+    from repro.apps import build_jpip, make_program
+    from repro.core.reslice import reslice
+    from repro.hinch import ProcessRuntime
+
+    # One decision costs two agreeing observation windows plus a
+    # cooldown; walking batch *and* pool size home takes several.  The
+    # per-app frame budget is far too short for that, so this section
+    # runs longer regardless of profile.
+    frames = max(64, profile.frames)
+    prof = RuntimeProfile(**{**profile.__dict__, "frames": frames})
+    registry = default_registry()
+    program = make_program(
+        build_jpip(1, width=prof.width, height=prof.height,
+                   pip_height=prof.height, factor=4, slices=prof.slices,
+                   frames=frames),
+        name="jpip1")
+
+    def median_fps(times: list[float]) -> float:
+        return frames / statistics.median(times)
+
+    static: dict[str, Any] = {}
+    best: dict[str, Any] | None = None
+    for n in prof.workers:
+        for b in sorted({1, prof.batch}):
+            times: list[float] = []
+            for _ in range(max(1, prof.repeats)):
+                result = _run_once(program, registry, "process", n, prof,
+                                   batch=b, fuse=True)
+                if result.completed_iterations != frames:
+                    raise ReproError(
+                        f"autotune/static n{n}b{b}: completed "
+                        f"{result.completed_iterations} of {frames}"
+                    )
+                times.append(result.elapsed_seconds)
+            cell = {
+                "workers": n, "batch": b,
+                "median_seconds": round(statistics.median(times), 6),
+                "frames_per_sec": round(median_fps(times), 4),
+            }
+            static[f"n{n}b{b}"] = cell
+            if best is None or cell["frames_per_sec"] > best["frames_per_sec"]:
+                best = {"key": f"n{n}b{b}", **cell}
+    assert best is not None
+
+    start_workers = max(prof.workers)
+    times = []
+    events: list[dict[str, Any]] = []
+    final_workers, final_batch = start_workers, 1
+    for _ in range(max(1, prof.repeats)):
+        rt = ProcessRuntime(
+            program, registry, workers=start_workers,
+            pipeline_depth=prof.pipeline_depth, max_iterations=frames,
+            batch=1, fuse=True, autotune=True,
+        )
+        result = rt.run()
+        if result.completed_iterations != frames:
+            raise ReproError(
+                f"autotune/adaptive: completed "
+                f"{result.completed_iterations} of {frames}"
+            )
+        times.append(result.elapsed_seconds)
+        events = result.autotune_events
+        final_workers, final_batch = rt.workers, rt.batch
+    adaptive_fps = median_fps(times)
+
+    converged_slices: dict[str, int] = {}
+    for event in events:
+        if event.get("slices"):
+            converged_slices.update(event["slices"])
+    converged_program = (
+        reslice(program, converged_slices) if converged_slices else program
+    )
+    times = []
+    for _ in range(max(1, prof.repeats)):
+        result = _run_once(converged_program, registry, "process",
+                           final_workers, prof, batch=final_batch,
+                           fuse=True)
+        if result.completed_iterations != frames:
+            raise ReproError(
+                f"autotune/converged: completed "
+                f"{result.completed_iterations} of {frames}"
+            )
+        times.append(result.elapsed_seconds)
+    converged_fps = median_fps(times)
+
+    decisions = []
+    for event in events:
+        predicted = event.get("predicted_fps")
+        achieved = event.get("achieved_fps")
+        decisions.append({
+            "kind": event["kind"],
+            "iteration": event["iteration"],
+            "reason": event["reason"],
+            "predicted_fps": round(predicted, 4) if predicted else None,
+            "achieved_fps": round(achieved, 4) if achieved else None,
+            "prediction_error": (
+                round(achieved / predicted - 1.0, 4)
+                if predicted and achieved else None
+            ),
+        })
+    return {
+        "app": "jpip",
+        "frames": frames,
+        "gate": AUTOTUNE_MIN_RATIO,
+        "static": static,
+        "best_static": best,
+        "adaptive": {
+            "start_workers": start_workers,
+            "start_batch": 1,
+            "frames_per_sec": round(adaptive_fps, 4),
+        },
+        "converged": {
+            "workers": final_workers,
+            "batch": final_batch,
+            "slices": converged_slices,
+            "frames_per_sec": round(converged_fps, 4),
+        },
+        "ratio": round(converged_fps / best["frames_per_sec"], 4),
+        "decisions": decisions,
+    }
+
+
 def collect(
     profile: RuntimeProfile, *, repeats: int | None = None
 ) -> dict[str, Any]:
@@ -517,6 +675,7 @@ def collect(
     )
     payload["faults"] = _measure_faults(profile)
     payload["dispatch_overhead"] = _measure_dispatch_overhead(profile)
+    payload["autotune"] = _measure_autotune(profile)
     return payload
 
 
@@ -567,6 +726,21 @@ def compare(
                 f"{name}: {after:.3f}s vs baseline {before:.3f}s "
                 f"({after / before - 1.0:+.0%}, limit "
                 f"{max_regression:+.0%})"
+            )
+    # The autotune section gates on its own absolute criterion rather
+    # than a baseline delta: the controller must converge to within
+    # ``gate`` of the best static configuration *in this collection*.
+    auto = current.get("autotune")
+    if auto:
+        ratio = auto.get("ratio")
+        floor = auto.get("gate", AUTOTUNE_MIN_RATIO)
+        if isinstance(ratio, (int, float)) and ratio < floor:
+            regressions.append(
+                f"autotune/{auto.get('app', 'jpip')}: converged at "
+                f"{ratio:.3f}x of best static "
+                f"({auto['converged']['frames_per_sec']:.2f} vs "
+                f"{auto['best_static']['frames_per_sec']:.2f} f/s, "
+                f"gate {floor:.2f}x)"
             )
     return regressions
 
@@ -621,6 +795,39 @@ def render_report(payload: dict, baseline: dict | None = None) -> str:
                     f"  {occ_key} x{occ['workers']}: {busy} "
                     f"(utilization {occ['utilization']:.0%}{psu_part})"
                 )
+    auto = payload.get("autotune")
+    if auto:
+        best = auto["best_static"]
+        conv = auto["converged"]
+        adaptive = auto["adaptive"]
+        lines.append(
+            f"autotune ({auto['app']}, {auto['frames']} frames, "
+            f"gate >= {auto['gate']:.2f}x of best static):"
+        )
+        lines.append(
+            f"  best static    {best['key']:<8}"
+            f"{best['frames_per_sec']:8.2f} f/s"
+        )
+        lines.append(
+            f"  adaptive run   n{adaptive['start_workers']}b"
+            f"{adaptive['start_batch']}->  "
+            f"{adaptive['frames_per_sec']:8.2f} f/s (incl. transients)"
+        )
+        lines.append(
+            f"  converged      n{conv['workers']}b{conv['batch']:<6}"
+            f"{conv['frames_per_sec']:8.2f} f/s  {auto['ratio']:5.2f}x"
+        )
+        for d in auto["decisions"]:
+            tail = ""
+            if d["predicted_fps"] is not None and d["achieved_fps"] is not None:
+                tail = (
+                    f" — predicted {d['predicted_fps']:.1f} f/s, "
+                    f"achieved {d['achieved_fps']:.1f}"
+                    f" ({d['prediction_error']:+.0%})"
+                )
+            lines.append(
+                f"    [{d['kind']}@{d['iteration']}] {d['reason']}{tail}"
+            )
     faults = payload.get("faults")
     if faults:
         lines.append(f"fault recovery (probe, x{faults['workers']}):")

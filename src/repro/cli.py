@@ -199,6 +199,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("--fuse applies to the threaded and process backends only",
               file=sys.stderr)
         return 2
+    if args.autotune and args.backend != "process":
+        print("--autotune applies to the process backend only",
+              file=sys.stderr)
+        return 2
+    if args.deadline_ms is not None and not args.autotune:
+        print("--deadline needs --autotune", file=sys.stderr)
+        return 2
     if args.backend == "threaded":
         from repro.hinch import ThreadedRuntime
 
@@ -234,6 +241,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             faults=args.inject_fault,
             fuse=args.fuse,
             fuse_backend=args.fuse_backend,
+            autotune=args.autotune,
+            objective=(
+                "deadline" if args.deadline_ms is not None
+                else args.objective
+            ),
+            deadline_ms=args.deadline_ms,
         )
         result = runtime.run()
         fps = (
@@ -252,6 +265,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                 counts[event["kind"]] = counts.get(event["kind"], 0) + 1
             summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
             print(f"fault recovery: {summary}")
+        if args.autotune:
+            spawned = result.workers_spawned
+            print(
+                f"autotune: {len(result.autotune_events)} decision(s), "
+                f"{spawned} worker(s) spawned, final workers="
+                f"{runtime.workers} batch={runtime.batch}"
+            )
+            for event in result.autotune_events:
+                achieved = event["achieved_fps"]
+                achieved_s = (
+                    f"{achieved:.2f}" if achieved is not None else "n/a"
+                )
+                print(
+                    f"  [{event['kind']}@iter{event['iteration']}] "
+                    f"{event['reason']} — predicted "
+                    f"{event['predicted_fps']:.2f} f/s, achieved "
+                    f"{achieved_s} f/s"
+                )
         _print_fusion_report(runtime)
     else:
         from repro.spacecake import SimRuntime
@@ -526,6 +557,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pick a registered implementation for a component "
                         "class, e.g. --impl downscale_field=strided "
                         "(repeatable; see docs/formats.md)")
+    p.add_argument("--autotune", action="store_true",
+                   help="process backend: online controller that widens/"
+                        "narrows slice replication, grows/shrinks the "
+                        "worker pool and retunes --batch at quiescent "
+                        "reconfiguration points, seeded by the cost model "
+                        "and corrected by measured occupancy")
+    p.add_argument("--objective", choices=("throughput", "deadline"),
+                   default="throughput",
+                   help="autotune goal: maximise frames/s (default) or "
+                        "meet --deadline at least cost")
+    p.add_argument("--deadline", dest="deadline_ms", type=float,
+                   default=None, metavar="MS",
+                   help="autotune: per-frame wall-clock budget in "
+                        "milliseconds (implies --objective deadline)")
     p.add_argument("--fuse", action="store_true",
                    help="threaded/process backends: compile provable linear "
                         "chains into single-dispatch fused kernels; "

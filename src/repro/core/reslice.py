@@ -1,0 +1,241 @@
+"""Re-slicing: rewrite a Program's data-parallel replication widths.
+
+The expander freezes slice counts at build time: a ``parallel`` block
+with ``n`` copies becomes ``n`` :class:`ComponentInstance` leaves with
+``slice=(i, n)`` and ids ``def[0] .. def[n-1]``.  The paper's
+reconfiguration interface, however, explicitly allows telling "a
+component which part of the input it has to process" — the slice
+assignment is runtime state, not structure.  This module exploits that:
+given a map ``{definition_id: new_total}`` it produces a *new* Program
+whose eligible parallel groups carry the requested number of copies,
+leaving everything else (streams, managers, options, params)
+structurally identical.
+
+Eligibility is structural only: a group qualifies when it is an
+``IRParallel`` of plain leaves sharing one ``definition_id`` whose
+slices tile ``0..n-1`` exactly and whose copies are identical except for
+``instance_id``/``slice`` — i.e. replication carries no per-copy
+configuration that a different width could not reproduce.  Crossdep
+regions never qualify (their halo edges encode neighbour exchange whose
+semantics depend on the copy count the *author* chose).  Whether a
+component's *state* tolerates re-sharding is a runtime concern judged by
+the caller (see ``Component.slice_elastic``); this module only answers
+the structural question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.core.program import (
+    ComponentInstance,
+    IRCrossdep,
+    IRLeaf,
+    IRManager,
+    IRNode,
+    IROption,
+    IRParallel,
+    IRSeries,
+    ManagerInfo,
+    OptionInfo,
+    Program,
+)
+from repro.errors import ReconfigurationError
+
+__all__ = ["SliceGroup", "slice_groups", "reslice"]
+
+
+@dataclass(frozen=True)
+class SliceGroup:
+    """One structurally re-sliceable parallel replication group."""
+
+    definition_id: str
+    class_name: str
+    #: current number of copies
+    total: int
+    #: instance ids of the current copies, index order
+    members: tuple[str, ...]
+
+
+def _group_of(node: IRParallel) -> SliceGroup | None:
+    """The slice group this parallel block represents, if it is one."""
+    leaves: list[ComponentInstance] = []
+    for child in node.children:
+        if not isinstance(child, IRLeaf):
+            return None
+        leaves.append(child.instance)
+    if len(leaves) < 2:
+        return None
+    def_ids = {inst.definition_id for inst in leaves}
+    if len(def_ids) != 1:
+        return None
+    def_id = def_ids.pop()
+    n = len(leaves)
+    slices = [inst.slice for inst in leaves]
+    if slices != [(i, n) for i in range(n)]:
+        return None
+    if [inst.instance_id for inst in leaves] != [
+        f"{def_id}[{i}]" for i in range(n)
+    ]:
+        return None
+    # Copies must be interchangeable: identical in everything except
+    # instance_id and slice, else a different width cannot reproduce
+    # whatever per-copy configuration the expansion baked in.
+    template = leaves[0]
+    for inst in leaves[1:]:
+        if (
+            inst.class_name != template.class_name
+            or inst.params != template.params
+            or inst.streams != template.streams
+            or inst.reconfigure != template.reconfigure
+            or inst.manager != template.manager
+            or inst.options != template.options
+            or inst.port_formats != template.port_formats
+        ):
+            return None
+    return SliceGroup(
+        definition_id=def_id,
+        class_name=template.class_name,
+        total=n,
+        members=tuple(inst.instance_id for inst in leaves),
+    )
+
+
+def slice_groups(program: Program) -> dict[str, SliceGroup]:
+    """All structurally re-sliceable groups, keyed by definition id."""
+    groups: dict[str, SliceGroup] = {}
+
+    def walk(node: IRNode, in_crossdep: bool) -> None:
+        if isinstance(node, IRParallel):
+            if not in_crossdep:
+                group = _group_of(node)
+                if group is not None:
+                    groups[group.definition_id] = group
+                    return
+            for child in node.children:
+                walk(child, in_crossdep)
+        elif isinstance(node, IRSeries):
+            for child in node.children:
+                walk(child, in_crossdep)
+        elif isinstance(node, IRCrossdep):
+            for pb in node.parblocks:
+                for copy in pb:
+                    walk(copy, True)
+        elif isinstance(node, (IRManager, IROption)):
+            walk(node.child, in_crossdep)
+
+    walk(program.root, False)
+    return groups
+
+
+def reslice(program: Program, overrides: Mapping[str, int]) -> Program:
+    """A new Program with the given groups re-replicated.
+
+    ``overrides`` maps ``definition_id -> new_total``; every key must
+    name an eligible group (see :func:`slice_groups`) and every total
+    must be >= 1.  The transform is deterministic and idempotent given
+    the same cumulative override map, so dispatcher and workers applying
+    it independently to the same base program converge on identical
+    structure.
+    """
+    if not overrides:
+        return program
+    groups = slice_groups(program)
+    for def_id, total in overrides.items():
+        if def_id not in groups:
+            raise ReconfigurationError(
+                f"cannot reslice {def_id!r}: not a re-sliceable parallel "
+                "group"
+            )
+        if total < 1:
+            raise ReconfigurationError(
+                f"cannot reslice {def_id!r} to {total} copies"
+            )
+
+    new_components = dict(program.components)
+    #: old member ids -> replacement ids, for manager/option remapping
+    replaced: dict[str, tuple[str, ...]] = {}
+
+    def rebuild(def_id: str, total: int) -> IRParallel:
+        group = groups[def_id]
+        template = program.components[group.members[0]]
+        for old_id in group.members:
+            del new_components[old_id]
+        new_ids = tuple(f"{def_id}[{j}]" for j in range(total))
+        leaves = []
+        for j, new_id in enumerate(new_ids):
+            inst = replace(
+                template,
+                instance_id=new_id,
+                slice=(j, total),
+                params=dict(template.params),
+                streams=dict(template.streams),
+                port_formats=dict(template.port_formats),
+                port_lines=dict(template.port_lines),
+            )
+            new_components[new_id] = inst
+            leaves.append(IRLeaf(inst))
+        for old_id in group.members:
+            replaced[old_id] = new_ids
+        return IRParallel(tuple(leaves))
+
+    def walk(node: IRNode, in_crossdep: bool) -> IRNode:
+        if isinstance(node, IRParallel):
+            if not in_crossdep:
+                group = _group_of(node)
+                if group is not None and group.definition_id in overrides:
+                    return rebuild(
+                        group.definition_id, overrides[group.definition_id]
+                    )
+            return IRParallel(
+                tuple(walk(c, in_crossdep) for c in node.children)
+            )
+        if isinstance(node, IRSeries):
+            return IRSeries(
+                tuple(walk(c, in_crossdep) for c in node.children)
+            )
+        if isinstance(node, IRCrossdep):
+            return IRCrossdep(
+                tuple(
+                    tuple(walk(copy, True) for copy in pb)
+                    for pb in node.parblocks
+                )
+            )
+        if isinstance(node, IRManager):
+            return IRManager(node.qname, walk(node.child, in_crossdep))
+        if isinstance(node, IROption):
+            return IROption(node.qname, walk(node.child, in_crossdep))
+        return node
+
+    new_root = walk(program.root, False)
+
+    def remap(members: tuple[str, ...]) -> tuple[str, ...]:
+        out: list[str] = []
+        emitted: set[str] = set()
+        for member in members:
+            if member in replaced:
+                for new_id in replaced[member]:
+                    if new_id not in emitted:
+                        emitted.add(new_id)
+                        out.append(new_id)
+            else:
+                out.append(member)
+        return tuple(out)
+
+    new_managers = {
+        q: replace(m, members=remap(m.members))
+        for q, m in program.managers.items()
+    }
+    new_options = {
+        q: replace(o, members=remap(o.members))
+        for q, o in program.options.items()
+    }
+    return Program(
+        program.name,
+        new_root,
+        new_components,
+        new_managers,
+        new_options,
+        program.registry,
+    )

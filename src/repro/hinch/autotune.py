@@ -1,0 +1,333 @@
+"""Elastic auto-tuning: the online controller (ROADMAP item 3).
+
+The paper's reconfiguration splicing gives the runtime safe points where
+the network is quiescent and may change shape.  PRs 3-7 used them for
+option toggles and fusion recompilation; this module closes the loop the
+cost model opens: a controller that *observes* each window of completed
+iterations (per-worker busy time, per-node busy time, CPU/stall
+classification, queue pressure) and *decides* — at the next splice —
+whether to resize the worker pool, retune the lease depth, or re-slice
+a data-parallel group, in the spirit of C-Stream's elastic split/merge
+and AstraKahn's demand-driven regulation.
+
+The controller here is deliberately pure: it never reads a clock, never
+touches the runtime, and is driven entirely by :class:`Observation`
+values handed to :meth:`AutotuneController.observe`.  That makes every
+decision unit-testable against canned traces (tests feed synthetic
+windows and assert the exact decision sequence), and makes the runtime
+integration a thin translation layer in ``process.py``.
+
+Stability comes from hysteresis: a proposal must repeat for
+``hysteresis`` consecutive windows before it is emitted, and each
+emitted decision is followed by a one-window cooldown so its effect is
+measured before the next move.  A noisy trace whose proposals flip-flop
+therefore never reaches the emission threshold — the no-oscillation
+property the tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "AutotuneConfig",
+    "Observation",
+    "Decision",
+    "AutotuneController",
+]
+
+#: mean job wall time below which a window counts as dispatch-bound
+DISPATCH_BOUND_S = 0.002
+#: mean job wall time above which batching buys nothing (jobs dominate)
+LONG_JOB_S = 0.05
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Static policy for one run of the controller."""
+
+    #: ``throughput`` maximises f/s; ``deadline`` treats ``deadline_ms``
+    #: as the per-frame budget and prefers the cheapest configuration
+    #: that meets it (shrinking when met, growing only when missed).
+    objective: str = "throughput"
+    deadline_ms: float | None = None
+    #: iterations per observation window
+    window: int = 4
+    #: consecutive agreeing windows before a decision is emitted
+    hysteresis: int = 2
+    min_workers: int = 1
+    max_workers: int = 4
+    #: physical cores on the host — the ceiling past which CPU-bound
+    #: work cannot speed up (blocking work still can)
+    cores: int = 1
+    min_batch: int = 1
+    max_batch: int = 16
+    #: valid replication totals per re-sliceable group (validated by the
+    #: runtime against the format solver before the run starts)
+    slice_candidates: Mapping[str, tuple[int, ...]] = field(
+        default_factory=dict
+    )
+    #: head-room kept when shrinking the pool: the target is
+    #: ``ceil(measured_parallelism * (1 + margin))``
+    margin: float = 0.25
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Measured facts about one window of completed iterations."""
+
+    window: int
+    #: wall seconds spanned by the window
+    wall: float
+    iterations: int
+    #: task jobs completed in the window
+    jobs: int
+    #: busy seconds per live worker id
+    worker_busy: Mapping[int, float]
+    #: busy seconds per *definition* id (slice copies aggregated)
+    node_busy: Mapping[str, float]
+    #: definition ids measured CPU-bound (cpu >= 0.5 * wall)
+    cpu_bound: frozenset[str]
+    #: deepest the job queue got during the window
+    queue_high_water: int
+    #: pool capacity (``--workers``) at observation time
+    workers: int
+    #: workers actually forked (lazy spawn may hold some dormant)
+    live_workers: int
+    batch: int
+    #: current replication total per re-sliceable group
+    slice_totals: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One emitted reconfiguration decision."""
+
+    kind: str  # grow_workers|shrink_workers|set_batch|widen_slices|narrow_slices
+    window: int
+    reason: str
+    workers: int | None = None
+    batch: int | None = None
+    slices: Mapping[str, int] | None = None
+    #: predicted throughput multiplier of applying this decision
+    predicted_ratio: float = 1.0
+
+
+class AutotuneController:
+    """Pure decision engine; one instance per run.
+
+    ``seed_intervals`` (optional) maps candidate worker counts to the
+    cost model's predicted initiation intervals
+    (:func:`repro.prediction.seed_plan`); when present, worker-count
+    decisions carry a model-derived ``predicted_ratio`` instead of the
+    neutral 1.0.
+    """
+
+    def __init__(
+        self,
+        config: AutotuneConfig,
+        seed_intervals: Mapping[int, float] | None = None,
+    ) -> None:
+        self.config = config
+        self.seed_intervals = dict(seed_intervals or {})
+        #: (kind, frozen target) of the currently-repeating proposal
+        self._pending: tuple[str, object] | None = None
+        self._pending_count = 0
+        self._pending_decision: Decision | None = None
+        #: windows to skip after an emitted decision settles
+        self._cooldown = 0
+
+    # -- prediction helpers --------------------------------------------------
+
+    def _worker_ratio(self, old: int, new: int) -> float:
+        """Model-predicted throughput of ``new`` workers vs ``old``."""
+        before = self.seed_intervals.get(old)
+        after = self.seed_intervals.get(new)
+        if before and after:
+            return before / after
+        return 1.0
+
+    # -- proposal generation -------------------------------------------------
+
+    def _proposals(self, obs: Observation) -> list[Decision]:
+        """Candidate decisions for one window, priority order."""
+        cfg = self.config
+        out: list[Decision] = []
+        busy = sum(obs.worker_busy.values())
+        parallelism = busy / obs.wall if obs.wall > 0 else 0.0
+        avg_job = busy / obs.jobs if obs.jobs else 0.0
+        frame_ms = (
+            obs.wall / obs.iterations * 1000.0 if obs.iterations else 0.0
+        )
+        meeting_deadline = (
+            cfg.objective == "deadline"
+            and cfg.deadline_ms is not None
+            and frame_ms <= cfg.deadline_ms
+        )
+        missing_deadline = (
+            cfg.objective == "deadline"
+            and cfg.deadline_ms is not None
+            and frame_ms > cfg.deadline_ms
+        )
+        bottleneck = max(
+            obs.node_busy, key=lambda d: obs.node_busy[d], default=None
+        )
+
+        # 1. batch retune: dispatch-bound windows amortize pipe writes by
+        #    doubling the lease depth; long-job windows drop to 1 so the
+        #    scheduler regains per-job placement freedom.
+        if obs.jobs:
+            if avg_job < DISPATCH_BOUND_S and obs.batch < cfg.max_batch:
+                target = min(cfg.max_batch, obs.batch * 2)
+                out.append(Decision(
+                    kind="set_batch", window=obs.window, batch=target,
+                    reason=(
+                        f"dispatch-bound: mean job {avg_job * 1e3:.2f}ms, "
+                        f"batch {obs.batch} -> {target}"
+                    ),
+                    predicted_ratio=1.0 + 0.25 * (1.0 - obs.batch / target),
+                ))
+            elif avg_job > LONG_JOB_S and obs.batch > cfg.min_batch:
+                out.append(Decision(
+                    kind="set_batch", window=obs.window,
+                    batch=cfg.min_batch,
+                    reason=(
+                        f"job-bound: mean job {avg_job * 1e3:.1f}ms, "
+                        f"batch {obs.batch} -> {cfg.min_batch}"
+                    ),
+                ))
+
+        # 2. shrink the pool: measured parallelism (plus margin) below
+        #    capacity means workers sit idle — decommission them.
+        #    Suppressed when a deadline is being *missed* (shrinking
+        #    cannot help meet it).
+        needed = max(cfg.min_workers, math.ceil(
+            parallelism * (1.0 + cfg.margin)
+        ))
+        if needed < obs.workers and not missing_deadline:
+            out.append(Decision(
+                kind="shrink_workers", window=obs.window, workers=needed,
+                reason=(
+                    f"parallelism {parallelism:.2f} needs {needed} "
+                    f"worker(s), pool is {obs.workers}"
+                ),
+                predicted_ratio=self._worker_ratio(obs.workers, needed),
+            ))
+
+        # 3. narrow a sliced group: when its jobs are dispatch-sized the
+        #    per-job overhead dominates the kernel — merge copies
+        #    (C-Stream's merge) down to the next smaller valid total.
+        for group, totals in sorted(cfg.slice_candidates.items()):
+            current = obs.slice_totals.get(group)
+            if current is None or obs.jobs == 0:
+                continue
+            smaller = [t for t in totals if t < current]
+            group_busy = obs.node_busy.get(group, 0.0)
+            per_copy = group_busy / current if current else 0.0
+            if smaller and 0 < per_copy < DISPATCH_BOUND_S:
+                target = max(smaller)
+                out.append(Decision(
+                    kind="narrow_slices", window=obs.window,
+                    slices={group: target},
+                    reason=(
+                        f"{group}: {per_copy * 1e3:.2f}ms per copy at "
+                        f"{current} copies, merging to {target}"
+                    ),
+                ))
+                break  # one group per window keeps splices cheap
+
+        # 4. grow the pool: sustained queue pressure with every live
+        #    worker saturated.  Growing past the physical cores only
+        #    helps when the bottleneck is *not* CPU-bound (blocking
+        #    kernels overlap; spinning ones cannot).  Suppressed once a
+        #    deadline objective is already met.
+        saturated = (
+            obs.live_workers > 0
+            and parallelism >= 0.8 * obs.live_workers
+        )
+        pressured = obs.queue_high_water > 2 * max(1, obs.live_workers) \
+            * obs.batch
+        if (
+            saturated and pressured and obs.workers < cfg.max_workers
+            and not meeting_deadline
+        ):
+            target = min(cfg.max_workers, obs.workers + 1)
+            cpu_limited = (
+                target > cfg.cores
+                and bottleneck is not None
+                and bottleneck in obs.cpu_bound
+            )
+            if not cpu_limited:
+                out.append(Decision(
+                    kind="grow_workers", window=obs.window, workers=target,
+                    reason=(
+                        f"saturated at {obs.live_workers} live "
+                        f"(parallelism {parallelism:.2f}), queue high-water "
+                        f"{obs.queue_high_water}"
+                    ),
+                    predicted_ratio=self._worker_ratio(obs.workers, target),
+                ))
+
+        # 5. widen a sliced group: the dominant stage has fewer copies
+        #    than the parallelism available to it (C-Stream's split).
+        if bottleneck is not None and obs.wall > 0 and not meeting_deadline:
+            share = obs.node_busy[bottleneck] / (obs.wall * max(
+                1, obs.live_workers))
+            totals = cfg.slice_candidates.get(bottleneck, ())
+            current = obs.slice_totals.get(bottleneck)
+            if share > 0.5 and totals and current is not None:
+                usable = (
+                    min(obs.workers, cfg.cores)
+                    if bottleneck in obs.cpu_bound else obs.workers
+                )
+                larger = [t for t in totals if current < t <= usable]
+                if larger:
+                    target = min(larger)
+                    out.append(Decision(
+                        kind="widen_slices", window=obs.window,
+                        slices={bottleneck: target},
+                        reason=(
+                            f"{bottleneck} dominates ({share:.0%} of window) "
+                            f"at {current} copies, splitting to {target}"
+                        ),
+                        predicted_ratio=min(
+                            target / current, usable / current
+                        ),
+                    ))
+
+        return out
+
+    # -- the observe/decide step ---------------------------------------------
+
+    def observe(self, obs: Observation) -> Decision | None:
+        """Feed one window; returns a decision once hysteresis is met."""
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+        proposals = self._proposals(obs)
+        if not proposals:
+            self._pending = None
+            self._pending_count = 0
+            self._pending_decision = None
+            return None
+        decision = proposals[0]
+        key: tuple[str, object] = (decision.kind, (
+            decision.workers,
+            decision.batch,
+            tuple(sorted((decision.slices or {}).items())),
+        ))
+        if key == self._pending:
+            self._pending_count += 1
+        else:
+            self._pending = key
+            self._pending_count = 1
+        self._pending_decision = decision
+        if self._pending_count >= self.config.hysteresis:
+            self._pending = None
+            self._pending_count = 0
+            self._pending_decision = None
+            self._cooldown = 1
+            return decision
+        return None

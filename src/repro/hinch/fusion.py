@@ -156,12 +156,22 @@ def _approve_stream(
     pg: ProgramGraph,
     registry: Mapping[str, type[Component]],
     expectations: Mapping[str, tuple[tuple[int, ...], Any]],
+    parallel_headroom: int | None = None,
 ) -> tuple[list[tuple[str, str]], Any] | str:
     """Decide whether stream ``name`` can become fused-chain internal.
 
     Returns ``(pairs, geometry)`` — writer/reader instance-id pairs whose
     cross-pair ordering the access contracts release — or a refusal
     reason string.
+
+    ``parallel_headroom`` (workers the caller can actually run in
+    parallel, ``None`` = unknown/serial) feeds the profitability guard:
+    fusing slice copy pairs is a loss when *more* workers than copies
+    exist, because the unfused form lets writer copies of iteration k+1
+    overlap reader copies of iteration k on the extra workers — fusion
+    welds each pair into one job and forfeits that pipeline overlap.
+    Pairs with a real combined kernel (``compile_fused_pair`` override)
+    are exempt: they elide work outright, which beats overlap.
     """
     graph = pg.graph
     if not table.writers or not table.readers:
@@ -227,6 +237,19 @@ def _approve_stream(
     by_index_r = {i.slice[0]: i for i in reader_insts}
     if set(by_index_w) != set(range(n)) or set(by_index_r) != set(range(n)):
         return "slice copies do not cover 0..n-1"
+    if parallel_headroom is not None and parallel_headroom > n:
+        r_cls0 = registry.get(reader_insts[0].class_name)
+        peephole = (
+            r_cls0 is not None
+            and r_cls0.compile_fused_pair.__func__
+            is not Component.compile_fused_pair.__func__
+        )
+        if not peephole:
+            return (
+                f"unprofitable: {n} slice copies under "
+                f"{parallel_headroom}-way parallel headroom — unfused "
+                "pipeline overlap beats single-job fusion"
+            )
     geometry = expectations.get(name)
     if geometry is None:
         return "no reconciled plane format (X5xx) to prove row spans"
@@ -394,6 +417,7 @@ def fuse_chains(
     registry: Mapping[str, type[Component]],
     expectations: Mapping[str, tuple[tuple[int, ...], Any]],
     backend: str = "numpy",
+    parallel_headroom: int | None = None,
 ) -> tuple[ProgramGraph, FusionReport]:
     """Compile every provably-fusable chain of ``pg`` into fused nodes.
 
@@ -401,13 +425,21 @@ def fuse_chains(
     run this independently after each reconfiguration splice and must
     agree on node ids and member order.  Returns the rewritten graph
     (or ``pg`` itself when nothing fuses) plus a :class:`FusionReport`.
+
+    ``parallel_headroom`` enables the sliced-pair profitability guard
+    (see :func:`_approve_stream`); callers pass the number of workers
+    that can genuinely run in parallel (``min(workers, cores)`` on the
+    process backend) or ``None`` to fuse unconditionally.
     """
     resolved = resolve_backend(backend)
     report = FusionReport(requested_backend=backend, backend=resolved)
 
     approved: dict[str, tuple[list[tuple[str, str]], Any]] = {}
     for name, table in pg.streams.items():
-        verdict = _approve_stream(name, table, pg, registry, expectations)
+        verdict = _approve_stream(
+            name, table, pg, registry, expectations,
+            parallel_headroom=parallel_headroom,
+        )
         if isinstance(verdict, str):
             report.refused[name] = verdict
         else:

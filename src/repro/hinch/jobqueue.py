@@ -58,6 +58,7 @@ class JobQueue:
         self._closed = False
         self._draining = False
         self._pushed = 0
+        self._high_water = 0
 
     def push(self, job: Job) -> int:
         """Enqueue one job; returns the number accepted (0 after close)."""
@@ -71,6 +72,8 @@ class JobQueue:
                 )
             self._items.append(job)
             self._pushed += 1
+            if len(self._items) > self._high_water:
+                self._high_water = len(self._items)
             self._not_empty.notify()
             return 1
 
@@ -89,6 +92,8 @@ class JobQueue:
                 )
             self._items.extend(jobs)
             self._pushed += len(jobs)
+            if len(self._items) > self._high_water:
+                self._high_water = len(self._items)
             self._not_empty.notify(len(jobs))
             return len(jobs)
 
@@ -109,6 +114,8 @@ class JobQueue:
                 return 0  # aborted: the retry no longer matters
             self._items.appendleft(job)
             self._pushed += 1
+            if len(self._items) > self._high_water:
+                self._high_water = len(self._items)
             self._not_empty.notify()
             return 1
 
@@ -195,3 +202,16 @@ class JobQueue:
     def total_pushed(self) -> int:
         with self._lock:
             return self._pushed
+
+    def take_high_water(self) -> int:
+        """Deepest the queue got since the last call, then reset.
+
+        The auto-tuner samples this per observation window as its queue-
+        pressure signal: a persistently deep queue with saturated workers
+        argues for growing the pool; resetting on read makes each window
+        independent.
+        """
+        with self._lock:
+            hw = self._high_water
+            self._high_water = len(self._items)
+            return hw

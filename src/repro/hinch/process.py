@@ -80,6 +80,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import re
 import time
 import traceback
 from multiprocessing.connection import Connection, wait
@@ -93,6 +94,12 @@ from repro.errors import (
     StreamError,
     StreamFormatError,
     WorkerFailure,
+)
+from repro.hinch.autotune import (
+    AutotuneConfig,
+    AutotuneController,
+    Decision,
+    Observation,
 )
 from repro.hinch.component import Component, JobContext
 from repro.hinch.events import Event, EventBroker
@@ -112,6 +119,10 @@ __all__ = ["ProcessRuntime"]
 #: exactly like an external SIGKILL/OOM to the dispatcher, the code only
 #: aids post-mortem debugging of the harness itself
 _FAULT_EXIT_CODE = 113
+
+#: strips the slice index off a node id: ``idct[3]`` -> ``idct`` — the
+#: auto-tuner aggregates busy time per *definition*, not per copy
+_SLICE_SUFFIX = re.compile(r"\[\d+\]$")
 
 #: pool counters a worker reports back at shutdown (summed by dispatcher)
 _WORKER_STAT_KEYS = (
@@ -346,6 +357,9 @@ class _Worker:
         overrides: Mapping[str, ComponentInstance] | None = None,
         fuse: bool = False,
         fuse_backend: str = "numpy",
+        program_base: Program | None = None,
+        slice_overrides: Mapping[str, int] | None = None,
+        fuse_headroom: int | None = None,
     ) -> None:
         self.conn = conn
         self.program = program
@@ -353,6 +367,19 @@ class _Worker:
         self.group_chains = group_chains
         self.fuse = fuse
         self.fuse_backend = fuse_backend
+        #: the un-resliced Program — re-slices always derive from it so
+        #: cumulative overrides stay idempotent; ``program`` itself may
+        #: already be a resliced derivation at fork time
+        self.program_base = program_base if program_base is not None else program
+        #: cumulative group -> replication-total overrides applied so far
+        self.slice_overrides = dict(slice_overrides or {})
+        #: workers-vs-cores headroom for the fusion profitability guard
+        #: (None fuses unconditionally); updated by splice messages
+        self.fuse_headroom = fuse_headroom
+        #: parameter reconfigurations seen so far, replayed to mirrors a
+        #: re-slice splice creates fresh (they would otherwise miss every
+        #: dynamic request that preceded them)
+        self._reconfig_log: list[tuple[str, str]] = []
         self.worker_id = worker_id
         self.pool = _RemotePlanePool(self.rpc)
         # The dispatcher's already-built (grouped/fused) graph is
@@ -411,7 +438,7 @@ class _Worker:
 
             pg, _ = fuse_chains(
                 pg, self.program, self.registry, expectations,
-                self.fuse_backend,
+                self.fuse_backend, parallel_headroom=self.fuse_headroom,
             )
         self._fused_caches = {}
         return pg
@@ -456,13 +483,39 @@ class _Worker:
         tag = msg[0]
         if tag == "reconfigure":
             _, manager, request = msg
+            self._reconfig_log.append((manager, request))
             for member in self.program.managers[manager].members:
                 component = self.host.live.get(member)
                 if component is not None:
                     component.reconfigure(request)
         elif tag == "splice":
+            # Extended form carries the auto-tuner's cumulative slice
+            # overrides and the current fusion headroom; the two-element
+            # form (no auto-tuning) leaves both unchanged.
+            if len(msg) >= 4:
+                overrides = dict(msg[2])
+                self.fuse_headroom = msg[3]
+                if overrides != self.slice_overrides:
+                    from repro.core.reslice import reslice
+
+                    self.slice_overrides = overrides
+                    self.program = (
+                        reslice(self.program_base, overrides)
+                        if overrides else self.program_base
+                    )
+                    self.host.program = self.program
             new_pg = self._make_pg(msg[1])
-            self.host.splice(new_pg.active_components, {})
+            added, _ = self.host.splice(new_pg.active_components, {})
+            # Mirrors a re-slice created (or rebuilt) fresh start from
+            # their instance descriptors and must catch up on every
+            # dynamic request their manager broadcast before they
+            # existed — exactly the respawn replay, scoped to them.
+            if added:
+                created = set(added)
+                for manager, request in self._reconfig_log:
+                    for member in self.program.managers[manager].members:
+                        if member in created:
+                            self.host.live[member].reconfigure(request)
             self.pg = new_pg
             # Same table the dispatcher derives from its own rebuild;
             # control messages themselves are never interned, so the
@@ -649,9 +702,13 @@ def _worker_entry(
     overrides: Mapping[str, ComponentInstance] | None = None,
     fuse: bool = False,
     fuse_backend: str = "numpy",
+    program_base: Program | None = None,
+    slice_overrides: Mapping[str, int] | None = None,
+    fuse_headroom: int | None = None,
 ) -> None:
     _Worker(conn, program, registry, pg, group_chains, worker_id,
-            overrides, fuse, fuse_backend).main()
+            overrides, fuse, fuse_backend, program_base, slice_overrides,
+            fuse_headroom).main()
 
 
 # ---------------------------------------------------------------------------
@@ -739,6 +796,10 @@ class ProcessRuntime:
         max_retries: int = 2,
         respawn: bool = True,
         faults: str | Sequence[FaultSpec] | FaultInjector | None = None,
+        autotune: bool = False,
+        objective: str = "throughput",
+        deadline_ms: float | None = None,
+        autotune_window: int = 4,
     ) -> None:
         if workers < 1:
             raise SchedulingError(f"workers must be >= 1, got {workers}")
@@ -748,6 +809,13 @@ class ProcessRuntime:
             raise SchedulingError(f"watchdog must be > 0 seconds, got {watchdog}")
         if max_retries < 0:
             raise SchedulingError(f"max_retries must be >= 0, got {max_retries}")
+        if objective not in ("throughput", "deadline"):
+            raise SchedulingError(
+                f"objective must be 'throughput' or 'deadline', got "
+                f"{objective!r}"
+            )
+        if objective == "deadline" and deadline_ms is None:
+            raise SchedulingError("objective 'deadline' needs deadline_ms")
         self.program = program
         self.registry = registry
         self.workers = workers
@@ -767,6 +835,21 @@ class ProcessRuntime:
         self.streams = StreamStore(self.pool)
         self.tracer = Tracer(enabled=trace)
         self.host = ComponentHost(program, registry)
+        try:
+            self._cores = len(os.sched_getaffinity(0))
+        except (AttributeError, OSError):
+            self._cores = os.cpu_count() or 1
+        #: the un-resliced Program the auto-tuner derives every re-slice
+        #: from, so cumulative overrides stay idempotent
+        self._program_base = program
+        #: cumulative group -> replication-total overrides applied so far
+        self._slice_overrides: dict[str, int] = {}
+        #: workers-vs-cores ceiling handed to the fusion profitability
+        #: guard: fusing a sliced pair forfeits pipeline overlap exactly
+        #: when more workers than slice copies could run its members
+        self._fuse_headroom: int | None = (
+            min(workers, self._cores) if fuse else None
+        )
 
         self.pg: ProgramGraph = self._make_pg(program, option_states)
         #: control-pipe pickler; workers derive the identical table from
@@ -843,10 +926,32 @@ class ProcessRuntime:
         #: successors may be chained speculatively; blocking kernels
         #: (cpu << wall, e.g. I/O or device waits) always spread.
         self._cpu_bound: dict[str, bool] = {}
-        try:
-            self._cores = len(os.sched_getaffinity(0))
-        except (AttributeError, OSError):
-            self._cores = os.cpu_count() or 1
+        #: distinct worker slots that ever forked (satellite of the
+        #: lazy-spawn work: occupancy must divide by workers that *ran*)
+        self._spawned_slots: set[int] = set()
+        #: decisions applied during this run (RunResult.autotune_events)
+        self.autotune_events: list[dict[str, Any]] = []
+        self.autotune = autotune
+        self._controller: AutotuneController | None = None
+        #: decisions awaiting the next quiescent splice, oldest first —
+        #: a window can close (and decide) while an earlier decision is
+        #: still draining toward its splice, so this must queue
+        self._pending_autotune: list[Decision] = []
+        #: current replication total per re-sliceable group
+        self._slice_totals: dict[str, int] = {}
+        # Observation-window accumulators (autotune only): per-worker and
+        # per-definition busy wall seconds, job count, window start time.
+        self._win_index = 0
+        self._win_iters = 0
+        self._win_jobs = 0
+        self._win_fps = 0.0
+        self._win_worker_busy: dict[int, float] = {}
+        self._win_node_busy: dict[str, float] = {}
+        self._win_start = time.perf_counter()
+        if autotune:
+            self._controller = self._init_autotune(
+                objective, deadline_ms, autotune_window, option_states
+            )
 
     def _make_pg(
         self, program: Program, option_states: Mapping[str, bool] | None
@@ -878,9 +983,255 @@ class ProcessRuntime:
             from repro.hinch.fusion import fuse_chains
 
             pg, self.fusion_report = fuse_chains(
-                pg, program, self.registry, expectations, self.fuse_backend
+                pg, program, self.registry, expectations, self.fuse_backend,
+                parallel_headroom=self._fuse_headroom,
             )
         return pg
+
+    # -- autotune ------------------------------------------------------------
+
+    def _init_autotune(
+        self,
+        objective: str,
+        deadline_ms: float | None,
+        window: int,
+        option_states: Mapping[str, bool] | None,
+    ) -> AutotuneController:
+        """Build the controller: slice candidates and the cost-model seed.
+
+        Candidate replication totals are validated *up front* with trial
+        re-slices (structure + format solve) so a decision at a splice
+        can never discover mid-run that a width does not build.  The
+        cost-model seed (:func:`repro.prediction.seed_plan`) is best
+        effort: programs without cost annotations tune from measurements
+        alone.
+        """
+        from repro.analysis.diagnostics import DiagnosticBag
+        from repro.analysis.formats import check_formats
+        from repro.core.reslice import reslice, slice_groups
+
+        candidates: dict[str, tuple[int, ...]] = {}
+        for group in slice_groups(self._program_base).values():
+            cls = self.registry.get(group.class_name)
+            if cls is None or not cls.slice_elastic():
+                continue
+            totals: list[int] = []
+            for total in sorted({1, 2, 4, 8} | {group.total}):
+                if total == group.total:
+                    totals.append(total)
+                    continue
+                try:
+                    trial = reslice(
+                        self._program_base, {group.definition_id: total}
+                    )
+                    bag = DiagnosticBag()
+                    check_formats(
+                        bag, trial, trial.build_graph(option_states)
+                    )
+                    if not bag.has_errors:
+                        totals.append(total)
+                except Exception:
+                    continue
+            if len(totals) > 1:
+                candidates[group.definition_id] = tuple(totals)
+                self._slice_totals[group.definition_id] = group.total
+        seed_intervals: dict[int, float] | None = None
+        max_workers = max(self.workers, self._cores)
+        try:
+            from repro.prediction import seed_plan
+
+            plan = seed_plan(
+                self._program_base,
+                self.registry,
+                max_workers=max_workers,
+                pipeline_depth=self.pipeline_depth,
+                option_states=option_states,
+            )
+            seed_intervals = dict(plan.intervals)
+        except Exception:
+            pass
+        config = AutotuneConfig(
+            objective=objective,
+            deadline_ms=deadline_ms,
+            window=window,
+            max_workers=max_workers,
+            cores=self._cores,
+            max_batch=max(16, self.batch),
+            slice_candidates=candidates,
+        )
+        return AutotuneController(config, seed_intervals)
+
+    def _close_window(self) -> None:
+        """End one observation window: measure, consult, maybe reconfigure."""
+        controller = self._controller
+        assert controller is not None
+        now = time.perf_counter()
+        wall = max(now - self._win_start, 1e-9)
+        fps = self._win_iters / wall
+        # Backfill achieved throughput on decisions still awaiting their
+        # first post-splice window — the predicted-vs-achieved delta the
+        # bench reports per decision.
+        for event in self.autotune_events:
+            if event["achieved_fps"] is None:
+                event["achieved_fps"] = round(fps, 4)
+                base = event["baseline_fps"]
+                event["achieved_ratio"] = (
+                    round(fps / base, 4) if base else None
+                )
+        cpu_bound = frozenset(
+            _SLICE_SUFFIX.sub("", node)
+            for node, bound in self._cpu_bound.items()
+            if bound
+        )
+        obs = Observation(
+            window=self._win_index,
+            wall=wall,
+            iterations=self._win_iters,
+            jobs=self._win_jobs,
+            worker_busy=dict(self._win_worker_busy),
+            node_busy=dict(self._win_node_busy),
+            cpu_bound=cpu_bound,
+            queue_high_water=self.queue.take_high_water(),
+            workers=self.workers,
+            live_workers=max(len(self._live), 1),
+            batch=self.batch,
+            slice_totals=dict(self._slice_totals),
+        )
+        decision = controller.observe(obs)
+        self._win_index += 1
+        self._win_iters = 0
+        self._win_jobs = 0
+        self._win_fps = fps
+        self._win_worker_busy = {}
+        self._win_node_busy = {}
+        self._win_start = now
+        if decision is None:
+            return
+        remaining = self.max_iterations - self.scheduler.completed_iterations
+        if remaining < controller.config.window:
+            return  # no window left to measure the effect in
+        self._pending_autotune.append(decision)
+        self.scheduler.request_reconfig(
+            ReconfigPlan(
+                manager="<autotune>", changes={}, reason=decision.reason
+            )
+        )
+
+    def _apply_autotune(self, decision: Decision, resume: int) -> None:
+        """Enact one controller decision at the quiescent splice point."""
+        if decision.batch is not None:
+            self.batch = decision.batch
+        if decision.workers is not None:
+            self._resize_pool(decision.workers)
+        if decision.slices:
+            from repro.core.reslice import reslice
+
+            self._slice_overrides.update(decision.slices)
+            self._slice_totals.update(decision.slices)
+            self.program = reslice(self._program_base, self._slice_overrides)
+            self.host.program = self.program
+            # Member tuples changed with the program: every manager gets
+            # its replacement descriptor (queue binding and stats stay).
+            for qname, manager in self.managers.items():
+                manager.rebind(self.program.managers[qname])
+        if self.fuse:
+            self._fuse_headroom = min(self.workers, self._cores)
+        if self.tracer.enabled:
+            now = time.perf_counter()
+            self.tracer.record(
+                TraceEvent(
+                    node_id=decision.kind,
+                    iteration=resume,
+                    worker=-1,
+                    start=now,
+                    end=now,
+                    kind="autotune",
+                )
+            )
+        self.autotune_events.append(
+            {
+                "kind": decision.kind,
+                "window": decision.window,
+                "iteration": resume,
+                "reason": decision.reason,
+                "workers": decision.workers,
+                "batch": decision.batch,
+                "slices": dict(decision.slices) if decision.slices else None,
+                "predicted_ratio": round(decision.predicted_ratio, 4),
+                "baseline_fps": round(self._win_fps, 4),
+                "predicted_fps": round(
+                    self._win_fps * decision.predicted_ratio, 4
+                ),
+                "achieved_fps": None,
+                "achieved_ratio": None,
+            }
+        )
+
+    def _resize_pool(self, target: int) -> None:
+        """Grow or shrink the worker pool at quiescence.
+
+        Growing only extends the slot tables — new slots stay dormant
+        until the first dispatch that finds no idle worker (PR 5's lazy
+        spawn).  Shrinking retires the highest slots first: dormant slots
+        just vanish; live ones get the graceful stop handshake (state
+        snapshots and pool stats merge exactly as at shutdown), which
+        cannot abandon work because every worker is idle at quiescence.
+        """
+        target = max(1, target)
+        if target > self.workers:
+            grow = target - self.workers
+            self._conns.extend([None] * grow)  # type: ignore[list-item]
+            self._procs.extend([None] * grow)
+            self._incarnation.extend([-1] * grow)
+            self._dormant += grow
+            self.workers = target
+            return
+        while self.workers > target:
+            slot = self.workers - 1
+            self._retire_slot(slot)
+            self._conns.pop()
+            self._procs.pop()
+            self._incarnation.pop()
+            self.workers = slot
+
+    def _retire_slot(self, slot: int) -> None:
+        if self._incarnation[slot] == -1:
+            self._dormant -= 1
+            return
+        if slot not in self._live:
+            return
+        self._live.discard(slot)
+        self._idle.discard(slot)
+        for holders in self._resident.values():
+            for workers in holders.values():
+                workers.discard(slot)
+        try:
+            self._send_to(slot, ("stop",), interned=False)
+            while True:
+                msg = self._recv_from(slot)
+                if msg[0] == "bye":
+                    _, snapshots, stats = msg
+                    for instance_id, state in snapshots.items():
+                        component = self.host.live.get(instance_id)
+                        if component is not None:
+                            component.merge_state(state)
+                    for key in _WORKER_STAT_KEYS:
+                        self._worker_pool_stats[key] += stats[key]
+                    break
+                if msg[0] == "error":
+                    break  # dying worker: nothing left worth merging
+        except (EOFError, OSError):
+            pass
+        try:
+            self._conns[slot].close()
+        except Exception:
+            pass
+        proc = self._procs[slot]
+        if proc is not None:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
 
     # -- SchedulerHooks ------------------------------------------------------
 
@@ -889,18 +1240,40 @@ class ProcessRuntime:
         # The planes behind these slots are back on the free lists, so
         # worker-resident views of them are no longer referenceable.
         self._resident.pop(iteration, None)
+        if self._controller is not None:
+            self._win_iters += 1
+            if self._win_iters >= self._controller.config.window:
+                self._close_window()
 
     def on_reconfigure(
         self, plans: list[ReconfigPlan], resume_iteration: int
     ) -> ProgramGraph:
+        # Auto-tune decisions piggyback on the quiescent splice: resize
+        # the pool / retune the batch / re-slice *before* the graph
+        # rebuild so the new shape and the new fusion headroom are what
+        # both sides derive the post-splice graph from.
+        pending, self._pending_autotune = self._pending_autotune, []
+        for decision in pending:
+            self._apply_autotune(decision, resume_iteration)
         states = dict(self.pg.option_states)
         for plan in plans:
             states.update(plan.changes)
         new_pg = self._make_pg(self.program, states)
-        self.host.splice(new_pg.active_components, self._precreated)
+        added, _ = self.host.splice(
+            new_pg.active_components, self._precreated
+        )
         for component in self._precreated.values():
             component.teardown()
         self._precreated.clear()
+        # Mirrors a re-slice created (or rebuilt) fresh catch up on the
+        # dynamic reconfigure history — same replay a respawned worker
+        # gets.
+        if added and self._sent_reconfigs:
+            created = set(added)
+            for manager, request in self._sent_reconfigs:
+                for member in self.program.managers[manager].members:
+                    if member in created:
+                        self.host.live[member].reconfigure(request)
         self.pg = new_pg
         self._target_states = dict(states)
         self.reconfig_log.append((resume_iteration, dict(states)))
@@ -916,7 +1289,10 @@ class ProcessRuntime:
         # idle and will process the splice before its next job.  self.pg
         # is already the new graph, so a worker respawned by a send
         # failure here forks with the post-splice option states baked in.
-        self._broadcast(("splice", dict(states)))
+        self._broadcast(
+            ("splice", dict(states), dict(self._slice_overrides),
+             self._fuse_headroom)
+        )
         # Intern table follows the graph.  Control messages (including
         # the splice itself) are never interned and no lease or RPC can
         # be in flight at quiescence, so nothing encoded with the old
@@ -1526,6 +1902,15 @@ class ProcessRuntime:
             or wall < 1e-6
             or cpu >= 0.5 * wall
         )
+        if self._controller is not None:
+            self._win_jobs += 1
+            self._win_worker_busy[worker] = (
+                self._win_worker_busy.get(worker, 0.0) + wall
+            )
+            definition = _SLICE_SUFFIX.sub("", node_id)
+            self._win_node_busy[definition] = (
+                self._win_node_busy.get(definition, 0.0) + wall
+            )
         for qname, event in events:
             self.broker.post(qname, event)
         for instance_id, delta in state_updates.items():
@@ -1660,7 +2045,8 @@ class ProcessRuntime:
             target=_worker_entry,
             args=(child, self.program, self.registry, self.pg,
                   self.group_chains, slot, dict(self.host.overrides),
-                  self.fuse, self.fuse_backend),
+                  self.fuse, self.fuse_backend, self._program_base,
+                  dict(self._slice_overrides), self._fuse_headroom),
             name=f"hinch-proc-worker-{slot}.{incarnation}",
             daemon=True,
         )
@@ -1671,6 +2057,7 @@ class ProcessRuntime:
         self._incarnation[slot] = incarnation
         self._live.add(slot)
         self._idle.add(slot)
+        self._spawned_slots.add(slot)
         for manager, request in self._sent_reconfigs:
             self._send_to(slot, ("reconfigure", manager, request),
                           interned=False)
@@ -2001,6 +2388,19 @@ class ProcessRuntime:
         finally:
             self._shutdown(graceful=not failed)
         elapsed = time.perf_counter() - start_time
+        if self._controller is not None and self._win_iters:
+            # Decisions applied too close to the end never saw a full
+            # window; the partial tail still yields an achieved number.
+            tail_fps = self._win_iters / max(
+                time.perf_counter() - self._win_start, 1e-9
+            )
+            for event in self.autotune_events:
+                if event["achieved_fps"] is None:
+                    event["achieved_fps"] = round(tail_fps, 4)
+                    base = event["baseline_fps"]
+                    event["achieved_ratio"] = (
+                        round(tail_fps / base, 4) if base else None
+                    )
         stream_stats = {
             name: self.streams.stream(name).stats for name in self.streams.names
         }
@@ -2018,4 +2418,6 @@ class ProcessRuntime:
             events_ignored=sum(m.events_ignored for m in self.managers.values()),
             pool_stats=pool_stats,
             fault_events=list(self.fault_events),
+            workers_spawned=len(self._spawned_slots),
+            autotune_events=list(self.autotune_events),
         )

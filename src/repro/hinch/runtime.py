@@ -51,6 +51,13 @@ class RunResult:
     #: backend (empty elsewhere); each entry is a dict with at least
     #: ``kind``/``worker``/``detail`` keys — see docs/fault-tolerance.md
     fault_events: list[dict[str, Any]] = field(default_factory=list)
+    #: worker slots that actually forked (lazy spawn and elastic resize
+    #: mean this can differ from the configured ``--workers`` in either
+    #: direction); equals ``nodes`` on the threaded backend
+    workers_spawned: int = 0
+    #: auto-tuner decisions applied during the run, each a dict with
+    #: ``kind``/``reason``/``predicted_fps``/``achieved_fps`` keys
+    autotune_events: list[dict[str, Any]] = field(default_factory=list)
 
 
 class ComponentHost:
@@ -107,6 +114,22 @@ class ComponentHost:
             if component is None:
                 component = self.create(instance_id)
             self.live[instance_id] = component
+        # A re-slice can keep an instance id while changing its
+        # descriptor (copy 0 of 4 becomes copy 0 of 2): the surviving
+        # object still holds the old slice assignment and must be
+        # rebuilt.  Only slice-elastic (stateless) components are ever
+        # re-sliced, so recreation loses nothing.
+        for instance_id in new_active:
+            if instance_id in added:
+                continue
+            instance = self.overrides.get(
+                instance_id, self.program.components.get(instance_id)
+            )
+            component = self.live[instance_id]
+            if instance is not None and component.instance != instance:
+                component.teardown()
+                self.live[instance_id] = self.create(instance_id)
+                added.append(instance_id)
         return added, removed
 
 
@@ -403,4 +426,5 @@ class ThreadedRuntime:
             events_handled=sum(m.events_handled for m in self.managers.values()),
             events_ignored=sum(m.events_ignored for m in self.managers.values()),
             pool_stats=self.pool.stats.as_dict(),
+            workers_spawned=self.nodes,
         )

@@ -12,12 +12,18 @@ import threading
 from dataclasses import dataclass
 from typing import Iterable
 
-__all__ = ["TraceEvent", "Tracer", "ATTRIBUTION_KINDS"]
+__all__ = ["TraceEvent", "Tracer", "ATTRIBUTION_KINDS", "CONTROL_KINDS"]
 
 #: Event kinds that *attribute* time already covered by another event
 #: (fused-chain members run inside their fused job's span).  Occupancy
 #: analytics skip them or every fused second would count twice.
 ATTRIBUTION_KINDS = frozenset({"fused_member"})
+
+#: Zero-duration marker events recording a runtime decision rather than
+#: executed work — the auto-tuner stamps one per reconfiguration it
+#: applies.  Excluded from busy/occupancy accounting alongside
+#: :data:`ATTRIBUTION_KINDS`; they exist for the timeline, not the sums.
+CONTROL_KINDS = frozenset({"autotune"})
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +75,7 @@ class Tracer:
             e.duration
             for e in self.events
             if e.kind not in ATTRIBUTION_KINDS
+            and e.kind not in CONTROL_KINDS
             and (worker is None or e.worker == worker)
         )
 
@@ -93,10 +100,26 @@ class Tracer:
         """
         totals: dict[int, float] = {}
         for e in self.events:
-            if e.kind in ATTRIBUTION_KINDS:
+            if e.kind in ATTRIBUTION_KINDS or e.kind in CONTROL_KINDS:
                 continue
             totals[e.worker] = totals.get(e.worker, 0.0) + e.duration
         return dict(sorted(totals.items()))
+
+    def workers_seen(self) -> frozenset[int]:
+        """Worker ids that executed real work (control jobs excluded).
+
+        With lazy spawn ``--workers N`` may fork fewer than N processes;
+        occupancy denominators must count the workers that *ran*, not the
+        configured ceiling.  Dispatcher control jobs (worker ``-1``) and
+        decision markers do not make a worker "live".
+        """
+        return frozenset(
+            e.worker
+            for e in self.events
+            if e.worker >= 0
+            and e.kind not in ATTRIBUTION_KINDS
+            and e.kind not in CONTROL_KINDS
+        )
 
     def kind_counts(self) -> dict[str, int]:
         """Events per ``kind`` — e.g. how many retries/respawns a run saw."""

@@ -22,21 +22,29 @@ from repro.prediction.pamela import (
     predict_iteration,
     predict_run,
 )
-from repro.prediction.estimate import wcet_sequential, wcet_span
+from repro.prediction.estimate import (
+    wcet_parallel,
+    wcet_sequential,
+    wcet_span,
+)
 from repro.prediction.deadline import (
     DeadlineReport,
     check_deadline,
     min_nodes_for_deadline,
 )
+from repro.prediction.controller import SeedPlan, seed_plan
 
 __all__ = [
     "LeafCostFn",
     "cost_model_leaf_fn",
     "predict_iteration",
     "predict_run",
+    "wcet_parallel",
     "wcet_sequential",
     "wcet_span",
     "DeadlineReport",
     "check_deadline",
     "min_nodes_for_deadline",
+    "SeedPlan",
+    "seed_plan",
 ]

@@ -1,0 +1,88 @@
+"""Cost-model seed for the elastic auto-tuner (ROADMAP item 3).
+
+The online controller in :mod:`repro.hinch.autotune` corrects itself
+from *measured* occupancy, but its first decision happens before any
+measurement exists.  This module supplies that starting point: evaluate
+the analytic cost model (the same PAM-SoC-style evaluation
+:func:`repro.prediction.check_deadline` uses) across candidate worker
+counts and recommend the smallest count whose predicted steady-state
+initiation interval is within ``tolerance`` of the best achievable —
+adding workers past that point buys nothing the model can see, so the
+runtime should have to *measure* a reason before paying for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.program import Program
+from repro.errors import PredictionError
+from repro.prediction.deadline import check_deadline
+
+__all__ = ["SeedPlan", "seed_plan"]
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """Cost-model recommendation used to seed the online controller."""
+
+    #: smallest worker count within ``tolerance`` of the best predicted II
+    workers: int
+    #: predicted initiation interval (cycles/frame) at ``workers``
+    initiation_interval: float
+    #: predicted II per candidate count, ``{n: cycles}`` for 1..max
+    intervals: dict[int, float]
+    tolerance: float
+
+    def predicted_speedup(self, n: int) -> float:
+        """Predicted throughput of ``n`` workers relative to one."""
+        base = self.intervals.get(1)
+        cur = self.intervals.get(n)
+        if not base or not cur:
+            return 1.0
+        return base / cur
+
+
+def seed_plan(
+    program: Program,
+    registry: Mapping[str, type],
+    *,
+    max_workers: int,
+    pipeline_depth: int = 5,
+    option_states: Mapping[str, bool] | None = None,
+    tolerance: float = 0.10,
+) -> SeedPlan:
+    """Evaluate 1..max_workers analytically and pick the knee.
+
+    The predicted II is monotone non-increasing in workers (work/P
+    shrinks, span is fixed), so the "knee" is the first count within
+    ``tolerance`` of the II at ``max_workers``.
+    """
+    if max_workers < 1:
+        raise PredictionError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    intervals: dict[int, float] = {}
+    for n in range(1, max_workers + 1):
+        report = check_deadline(
+            program,
+            registry,
+            nodes=n,
+            frame_budget_cycles=1.0,
+            pipeline_depth=pipeline_depth,
+            option_states=option_states,
+        )
+        intervals[n] = report.initiation_interval
+    best = intervals[max_workers]
+    chosen = max_workers
+    for n in sorted(intervals):
+        if intervals[n] <= best * (1.0 + tolerance):
+            chosen = n
+            break
+    return SeedPlan(
+        workers=chosen,
+        initiation_interval=intervals[chosen],
+        intervals=intervals,
+        tolerance=tolerance,
+    )

@@ -152,3 +152,60 @@ def test_render_report_mentions_every_cell():
     text = render_report(payload, baseline=_payload(median_seconds=0.5))
     assert "pip:" in text and "threaded" in text
     assert "f/s" in text and "vs baseline" in text
+
+
+def test_compare_gates_the_autotune_converged_ratio():
+    """The autotune section carries its own absolute gate: the converged
+    configuration must reach ``gate`` x the best static cell."""
+    current = _payload()
+    current["autotune"] = {
+        "app": "jpip", "gate": 0.95, "ratio": 0.80,
+        "converged": {"frames_per_sec": 40.0},
+        "best_static": {"frames_per_sec": 50.0},
+    }
+    regressions = compare(current, _payload())
+    assert any("autotune" in r for r in regressions)
+    current["autotune"]["ratio"] = 1.01
+    assert compare(current, _payload()) == []
+    # informational: autotune never enters the flattened wall metrics
+    assert _wall_metrics(current) == _wall_metrics(_payload())
+
+
+def test_committed_baseline_meets_the_autotune_bar():
+    """Elastic auto-tuning acceptance, pinned in the committed baseline:
+    started mis-tuned (widest pool, batch=1), the controller must land
+    within the gate of the best hand-tuned static configuration."""
+    payload = json.loads((REPO_ROOT / "BENCH_runtime.json").read_text())
+    auto = payload["autotune"]
+    assert auto["ratio"] >= auto["gate"]
+    assert auto["decisions"], "controller never acted on a mis-tuned start"
+    for decision in auto["decisions"]:
+        assert {"kind", "iteration", "reason"} <= decision.keys()
+    # the grid the ratio is judged against really was measured
+    assert auto["best_static"]["key"] in auto["static"]
+
+
+def test_render_report_includes_the_autotune_section():
+    payload = _payload()
+    payload["frames"] = 8
+    payload["repeats"] = 3
+    payload["python"] = "3.11"
+    payload["cpu_count"] = 1
+    payload["autotune"] = {
+        "app": "jpip", "frames": 64, "gate": 0.95, "ratio": 1.02,
+        "static": {},
+        "best_static": {"key": "n1b4", "frames_per_sec": 70.0},
+        "adaptive": {"start_workers": 4, "start_batch": 1,
+                     "frames_per_sec": 55.0},
+        "converged": {"workers": 1, "batch": 16, "slices": {},
+                      "frames_per_sec": 71.4},
+        "decisions": [{
+            "kind": "set_batch", "iteration": 11, "reason": "dispatch-bound",
+            "predicted_fps": 50.0, "achieved_fps": 45.0,
+            "prediction_error": -0.1,
+        }],
+    }
+    text = render_report(payload)
+    assert "autotune" in text and "best static" in text
+    assert "converged" in text and "1.02x" in text
+    assert "set_batch@11" in text and "predicted 50.0" in text

@@ -392,3 +392,83 @@ def test_fused_process_run_shrinks_meta_bytes():
     assert 0 < fused.pool_stats["meta_pickled_bytes"] < (
         plain.pool_stats["meta_pickled_bytes"]
     )
+
+
+# -- profitability guard (sliced pairs under parallel headroom) --------------
+
+
+def _fused_with_headroom(program, headroom, registry=REG):
+    pg = program.build_graph()
+    solution = check_formats(DiagnosticBag(), program, pg)
+    expectations = runtime_expectations(program, pg, solution=solution)
+    return fuse_chains(pg, program, registry, expectations,
+                       parallel_headroom=headroom)
+
+
+def test_sliced_pairs_fuse_only_without_spare_parallel_headroom():
+    """Welding slice pairs into one job forfeits cross-iteration overlap,
+    so it only pays when there are no spare workers to overlap on."""
+    program = _jpip_program()  # sliced stages are 3 copies wide
+    for headroom in (None, 1, 3):
+        _, report = _fused_with_headroom(program, headroom)
+        assert len(report.chains) == 20
+        assert not any(
+            "unprofitable" in r for r in report.refused.values()
+        )
+    _, report = _fused_with_headroom(program, 8)
+    families = {"+".join(m.class_name for m in c) for c in report.chains}
+    # unsliced 1:1 chains always fuse — they have no overlap to forfeit
+    assert families == {"mjpeg_source+jpeg_decode"}
+    unprofitable = {
+        name for name, reason in report.refused.items()
+        if "unprofitable" in reason
+    }
+    assert unprofitable == {
+        "bg_plane_y", "bg_plane_u", "bg_plane_v",
+        "pip0_plane_y", "pip0_plane_u", "pip0_plane_v",
+        "small0_y", "small0_u", "small0_v",
+    }
+
+
+def test_peephole_pairs_are_exempt_from_the_guard():
+    """A pair with a real combined kernel elides work outright — that
+    beats pipeline overlap, so the guard must not refuse it."""
+    program = _jpip_program()
+    registry = dict(REG)
+
+    class PeepholeDownscale(registry["downscale_field"]):
+        @classmethod
+        def compile_fused_pair(cls, upstream_cls, upstream, instance,
+                               backend):
+            return None  # no kernel yet; the override marks the intent
+
+    registry["downscale_field"] = PeepholeDownscale
+    _, report = _fused_with_headroom(program, 8, registry)
+    families = {"+".join(m.class_name for m in c) for c in report.chains}
+    assert "idct_field+downscale_field" in families
+    assert "idct_field+blend_field" not in families
+    unprofitable = {
+        name for name, reason in report.refused.items()
+        if "unprofitable" in reason
+    }
+    assert unprofitable == {
+        "bg_plane_y", "bg_plane_u", "bg_plane_v",
+        "small0_y", "small0_u", "small0_v",
+    }
+
+
+def test_blur_n4_never_fuses_with_or_without_headroom():
+    """Pin: Blur's stencil stages live in crossdep regions (halo
+    exchange), so --fuse welds nothing there no matter the headroom —
+    there is no unprofitable fusion for the guard to even refuse."""
+    program = make_program(
+        build_blur(5, width=48, height=36, slices=4, frames=2,
+                   collect=True),
+        name="blur5",
+    )
+    for headroom in (None, 1, 4, 8):
+        _, report = _fused_with_headroom(program, headroom)
+        assert len(report.chains) == 0
+        assert not any(
+            "unprofitable" in r for r in report.refused.values()
+        )
