@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-faults bench bench-perf figures examples lint clean
+.PHONY: install test test-fast test-faults fuzz bench bench-perf figures examples lint clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,20 @@ test-faults:
 	$(PYTHON) -m pytest tests/hinch/test_faults.py -q
 	PYTHONPATH=src $(PYTHON) -m repro run examples/specs/pip1.xml \
 		--backend process --workers 2 --inject-fault kill:1
+
+# Bounded differential fuzz (docs/fuzzing.md): replay the committed
+# shrunk regression cases, then run a fixed-seed campaign.  Failures
+# land in fuzz-failures/ as minimal cases with exact replay lines.
+# Override: make fuzz FUZZ_SEED=100 FUZZ_CASES=200
+FUZZ_SEED ?= 0
+FUZZ_CASES ?= 25
+
+fuzz:
+	for case in tests/fuzz/case-*.json; do \
+		PYTHONPATH=src $(PYTHON) -m repro fuzz --replay $$case || exit 1; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --seed $(FUZZ_SEED) \
+		--cases $(FUZZ_CASES) --out fuzz-failures -v
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \

@@ -204,6 +204,31 @@ def _is_convertible(a: str, b: str) -> bool:
         return False
 
 
+def solve_formats_or_raise(program, pg) -> FormatSolution:
+    """:func:`check_formats`, but reconciliation *errors* abort the build.
+
+    The runtimes call this when installing a configuration: a spec whose
+    declared formats cannot be reconciled (X501/X502/X503) must fail when
+    the graph is built — never run on silent first-write inference, where
+    a sink declaring one geometry happily consumes another.  Warnings and
+    infos (X504/X505/X506) pass through untouched; they are lint's
+    business, not the runtime's.
+    """
+    from repro.analysis.diagnostics import Severity
+    from repro.errors import StreamFormatError
+
+    bag = DiagnosticBag()
+    solution = check_formats(bag, program, pg)
+    if bag.has_errors:
+        errors = [d for d in bag.sorted() if d.severity is Severity.ERROR]
+        detail = "; ".join(f"{d.code}: {d.message}" for d in errors)
+        raise StreamFormatError(
+            f"declared port formats do not reconcile "
+            f"({len(errors)} error(s)): {detail}"
+        )
+    return solution
+
+
 def check_formats(
     bag: DiagnosticBag, program, pg, *, context: str = ""
 ) -> FormatSolution:

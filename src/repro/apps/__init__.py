@@ -25,6 +25,7 @@ frames and a manager toggles the relevant option(s) (§4.3).
 from repro.apps.pip import build_pip
 from repro.apps.jpip import build_jpip
 from repro.apps.blur import build_blur
+from repro.apps.audio import build_audio
 from repro.apps.sequential import (
     build_blur_sequential,
     build_jpip_sequential,
@@ -36,6 +37,7 @@ __all__ = [
     "build_pip",
     "build_jpip",
     "build_blur",
+    "build_audio",
     "build_pip_sequential",
     "build_jpip_sequential",
     "build_blur_sequential",

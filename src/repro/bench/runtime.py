@@ -202,7 +202,13 @@ def probe_program(profile: RuntimeProfile):
 
 
 def _app_programs(profile: RuntimeProfile) -> dict[str, Any]:
-    from repro.apps import build_blur, build_jpip, build_pip, make_program
+    from repro.apps import (
+        build_audio,
+        build_blur,
+        build_jpip,
+        build_pip,
+        make_program,
+    )
 
     w, h, s = profile.width, profile.height, profile.slices
     return {
@@ -218,6 +224,12 @@ def _app_programs(profile: RuntimeProfile) -> dict[str, Any]:
             build_jpip(1, width=w, height=h, pip_height=h, factor=4,
                        slices=s, frames=max(2, profile.frames // 2)),
             name="jpip1"),
+        # anti-JPiP profile: ~1 KiB records, dispatch-dominated — the
+        # workload where batching/fusion overhead knobs actually show
+        "audio": make_program(
+            build_audio(channels=8, block=64, slices=2,
+                        frames=max(2, profile.frames // 2)),
+            name="audio8"),
     }
 
 

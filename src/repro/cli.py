@@ -182,30 +182,83 @@ def _print_fusion_report(runtime) -> None:
         )
 
 
+def _usage_error(message: str) -> int:
+    """Report a structured usage error (exit status 2, like argparse)."""
+    print(f"usage error: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_run_args(args: argparse.Namespace) -> str | None:
+    """Up-front validation of ``run`` knob combinations.
+
+    Catches the degenerate values that would otherwise reach the runtime
+    and fail obscurely (``--batch 0``, ``--workers 0``) or hang
+    (``--pipeline-depth 0`` admits no iterations), and the silently
+    ignored combinations (``--inject-fault`` on a backend that cannot
+    inject, ``--objective deadline`` without a budget).  Returns the
+    error message, or ``None`` when the knobs are coherent.
+    """
+    workers = args.workers if args.workers is not None else args.nodes
+    if args.nodes < 1:
+        return f"--nodes must be >= 1, got {args.nodes}"
+    if workers < 1:
+        return f"--workers must be >= 1, got {workers}"
+    if args.iterations < 0:
+        return f"--iterations must be >= 0, got {args.iterations}"
+    if args.pipeline_depth < 1:
+        return (
+            f"--pipeline-depth must be >= 1, got {args.pipeline_depth} "
+            "(a depth of 0 admits no iterations)"
+        )
+    if args.batch < 1:
+        return f"--batch must be >= 1, got {args.batch}"
+    if args.batch > 1 and args.backend != "process":
+        return "--batch applies to the process backend only"
+    if args.watchdog is not None and args.watchdog <= 0:
+        return f"--watchdog must be > 0 seconds, got {args.watchdog}"
+    if args.max_retries < 0:
+        return f"--max-retries must be >= 0, got {args.max_retries}"
+    if args.inject_fault is not None and args.backend != "process":
+        return (
+            f"--inject-fault applies to the process backend only "
+            f"(faults cannot be injected on --backend {args.backend}); "
+            "it would otherwise be silently ignored"
+        )
+    if args.fuse and args.backend == "sim":
+        return "--fuse applies to the threaded and process backends only"
+    if args.autotune and args.backend != "process":
+        return "--autotune applies to the process backend only"
+    if args.deadline_ms is not None and not args.autotune:
+        return "--deadline needs --autotune"
+    if args.objective == "deadline" and args.deadline_ms is None:
+        return "--objective deadline needs --deadline MS"
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from repro.components.registry import default_registry
 
+    problem = _check_run_args(args)
+    if problem is not None:
+        return _usage_error(problem)
     impls: dict[str, str] = {}
     for pick in args.impl or ():
         name, sep, impl = pick.partition("=")
         if not sep or not name or not impl:
-            print(f"--impl expects name=impl, got {pick!r}", file=sys.stderr)
-            return 2
+            return _usage_error(f"--impl expects name=impl, got {pick!r}")
         impls[name] = impl
+    if args.inject_fault is not None:
+        # Parse up front so a malformed or duplicate-index spec is a
+        # usage error before any spec loading or worker spawn.
+        from repro.hinch.faults import parse_faults
+
+        try:
+            parse_faults(args.inject_fault)
+        except ReproError as exc:
+            return _usage_error(str(exc))
     program = _load_program(args.spec)
     registry = default_registry(impls=impls or None)
     workers = args.workers if args.workers is not None else args.nodes
-    if args.fuse and args.backend == "sim":
-        print("--fuse applies to the threaded and process backends only",
-              file=sys.stderr)
-        return 2
-    if args.autotune and args.backend != "process":
-        print("--autotune applies to the process backend only",
-              file=sys.stderr)
-        return 2
-    if args.deadline_ms is not None and not args.autotune:
-        print("--deadline needs --autotune", file=sys.stderr)
-        return 2
     if args.backend == "threaded":
         from repro.hinch import ThreadedRuntime
 
@@ -265,6 +318,9 @@ def cmd_run(args: argparse.Namespace) -> int:
                 counts[event["kind"]] = counts.get(event["kind"], 0) + 1
             summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
             print(f"fault recovery: {summary}")
+            for event in result.fault_events:
+                if event["kind"] == "unfired":
+                    print(f"warning: {event['detail']}", file=sys.stderr)
         if args.autotune:
             spawned = result.workers_spawned
             print(
@@ -460,6 +516,8 @@ _APPS = {
     "blur3": ("blur", dict(size=3)),
     "blur5": ("blur", dict(size=5)),
     "blur35": ("blur", dict(reconfigurable=True)),
+    "audio8": ("audio", dict(channels=8)),
+    "audio12": ("audio", dict(channels=8, reconfigurable=True)),
 }
 
 
@@ -477,6 +535,55 @@ def cmd_apps(args: argparse.Namespace) -> int:
     else:
         print(xml)
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+    from repro.fuzz.campaign import replay_file
+
+    if args.replay:
+        case, failure = replay_file(args.replay)
+        print(f"replaying {args.replay}: {case.describe()}")
+        if failure is None:
+            print("PASS — the case no longer fails")
+            return 0
+        print(f"FAIL {failure}")
+        return 1
+
+    if args.cases < 1:
+        return _usage_error(f"--cases must be >= 1, got {args.cases}")
+    if args.max_nodes < 2:
+        return _usage_error(
+            f"--max-nodes must be >= 2 (source + sink), got {args.max_nodes}"
+        )
+
+    def progress(case, failure):
+        status = "FAIL" if failure else "ok  "
+        line = f"  [{status}] case {case.seed}: {case.describe()}"
+        if failure:
+            line += f"\n         {failure}"
+        print(line)
+
+    report = run_campaign(
+        seed=args.seed,
+        cases=args.cases,
+        max_nodes=args.max_nodes,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        progress=progress if args.verbose else None,
+    )
+    print(
+        f"fuzz: {report.passed}/{report.cases} case(s) passed "
+        f"(seed {args.seed}, max {args.max_nodes} nodes)"
+    )
+    for case, failure, path in report.failures:
+        print(f"FAIL case {case.seed}: {failure}", file=sys.stderr)
+        print(f"  shrunk repro: {path}", file=sys.stderr)
+        print(
+            f"  replay: PYTHONPATH=src python -m repro fuzz --replay {path}",
+            file=sys.stderr,
+        )
+    return 0 if report.ok else 1
 
 
 def _bench_profiles() -> list[str]:
@@ -638,6 +745,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("app", choices=sorted(_APPS))
     p.add_argument("-o", "--output")
     p.set_defaults(fn=cmd_apps)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario fuzzing: random SP graphs x "
+             "reconfiguration x faults, differentially checked across "
+             "backends (see docs/fuzzing.md)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="first case seed; case k uses seed+k (default: 0)")
+    p.add_argument("--cases", type=int, default=25,
+                   help="number of generated cases (default: 25)")
+    p.add_argument("--max-nodes", type=int, default=8,
+                   help="approximate expanded-component budget per case "
+                        "(default: 8)")
+    p.add_argument("--out", default="fuzz-failures", metavar="DIR",
+                   help="directory for shrunk failure repros "
+                        "(default: fuzz-failures)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="persist failing cases unshrunk")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-check one persisted failure case and exit")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print a line per case")
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

@@ -34,7 +34,7 @@ from repro.core.formats import parse_format
 from repro.core.ports import PortSpec
 from repro.errors import RegistryError
 from repro.hinch.component import Component
-from repro.components import streaming
+from repro.components import audio, streaming
 from repro.components.skeletons import SKELETON_REGISTRY
 
 __all__ = [
@@ -153,6 +153,11 @@ DEFAULT_REGISTRY: dict[str, type[Component]] = {
     "downscale_blend_field": streaming.DownscaleBlendField,
     "jpeg_decode_idct": streaming.JpegDecodeIdct,
     "idct_downscale_blend_field": streaming.IdctDownscaleBlendField,
+    # audio / sensor-fusion front-end (small records, high rate)
+    "audio_source": audio.AudioSource,
+    "band_filter": audio.BandFilter,
+    "fuse_sensors": audio.FuseSensors,
+    "feature_sink": audio.FeatureSink,
     # skeletal template components (paper §6, future work)
     **SKELETON_REGISTRY,
 }

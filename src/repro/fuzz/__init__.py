@@ -1,0 +1,33 @@
+"""Adversarial scenario fuzzing: random SP graphs, differentially checked.
+
+Hand-written scenarios only cover the failures someone imagined.  This
+package generates random-but-valid XSPCL programs (and deliberately
+*invalid* mutants), random runs over them — reconfiguration schedules,
+fault injections, knob grids — and checks every case differentially:
+
+* both backends, knobs-on vs knobs-off, must produce **bit-identical**
+  sink output;
+* lint and build must **agree**: a lint-rejected spec fails at build,
+  never at runtime — and a lint-clean spec runs;
+* every run shuts down cleanly, leaks nothing into ``/dev/shm``, and
+  accounts for every injected fault (fired or reported unfired).
+
+Failures are shrunk to a minimal reproducing case and written to disk
+with an exact replay line.  Entry points: ``python -m repro fuzz`` and
+:func:`run_campaign`.
+"""
+
+from repro.fuzz.generator import FuzzCase, generate_case
+from repro.fuzz.runner import CaseFailure, build_spec, check_case
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.campaign import run_campaign
+
+__all__ = [
+    "FuzzCase",
+    "CaseFailure",
+    "generate_case",
+    "build_spec",
+    "check_case",
+    "shrink_case",
+    "run_campaign",
+]

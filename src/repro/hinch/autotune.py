@@ -100,6 +100,38 @@ class Observation:
     #: current replication total per re-sliceable group
     slice_totals: Mapping[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Degenerate windows are legal — a window can close with zero
+        # completed iterations, zero jobs, or zero forked workers (lazy
+        # spawn) — but the measurements themselves must be finite and
+        # non-negative, or every downstream ratio the controller and the
+        # bench derive from them would silently go NaN.
+        if not math.isfinite(self.wall) or self.wall < 0:
+            raise ValueError(
+                f"observation window {self.window}: wall must be finite "
+                f"and >= 0, got {self.wall!r}"
+            )
+        for name in ("iterations", "jobs", "workers", "live_workers",
+                     "batch"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(
+                    f"observation window {self.window}: {name} must be "
+                    f">= 0, got {value}"
+                )
+        for worker, busy in self.worker_busy.items():
+            if not math.isfinite(busy) or busy < 0:
+                raise ValueError(
+                    f"observation window {self.window}: busy time of "
+                    f"worker {worker} must be finite and >= 0, got {busy!r}"
+                )
+        for node, busy in self.node_busy.items():
+            if not math.isfinite(busy) or busy < 0:
+                raise ValueError(
+                    f"observation window {self.window}: busy time of "
+                    f"node {node!r} must be finite and >= 0, got {busy!r}"
+                )
+
 
 @dataclass(frozen=True)
 class Decision:

@@ -62,6 +62,27 @@ class FaultSpec:
             return ("slow", self.ms)
         return (self.kind,)
 
+    def describe(self) -> str:
+        """The CLI syntax for this spec (``kill:3`` / ``slow:2:50``)."""
+        if self.kind == "slow":
+            ms = self.ms
+            ms_s = f"{ms:g}"
+            return f"slow:{self.at_job}:{ms_s}"
+        return f"{self.kind}:{self.at_job}"
+
+
+def _check_unique(specs: Sequence[FaultSpec]) -> None:
+    """Two directives at one dispatch index would shadow each other."""
+    seen: set[int] = set()
+    for spec in specs:
+        if spec.at_job in seen:
+            raise SchedulingError(
+                f"two faults target dispatched job {spec.at_job}; "
+                "indices must be unique (the later directive would "
+                "silently shadow the earlier one)"
+            )
+        seen.add(spec.at_job)
+
 
 def parse_faults(text: str) -> list[FaultSpec]:
     """Parse the CLI syntax: ``kill:1,hang:5,slow:2:50``.
@@ -91,14 +112,7 @@ def parse_faults(text: str) -> list[FaultSpec]:
                 f"malformed fault spec {entry!r}: {exc} "
                 "(syntax: kill:J | hang:J | slow:J:MS, comma-separated)"
             ) from None
-    seen: set[int] = set()
-    for spec in specs:
-        if spec.at_job in seen:
-            raise SchedulingError(
-                f"two faults target dispatched job {spec.at_job}; "
-                "indices must be unique"
-            )
-        seen.add(spec.at_job)
+    _check_unique(specs)
     return specs
 
 
@@ -108,6 +122,11 @@ class FaultInjector:
     def __init__(self, specs: Iterable[FaultSpec] | str) -> None:
         if isinstance(specs, str):
             specs = parse_faults(specs)
+        specs = list(specs)
+        # A dict would quietly keep only the *last* directive per index;
+        # reject the collision here too so programmatic spec lists get
+        # the same protection as the parsed CLI syntax.
+        _check_unique(specs)
         self._pending: dict[int, FaultSpec] = {s.at_job: s for s in specs}
         self.injected: list[FaultSpec] = []
 

@@ -416,14 +416,13 @@ class _Worker:
         node ids, overrides and the interner table must agree.
         """
         pg = self.program.build_graph(option_states)
-        from repro.analysis.diagnostics import DiagnosticBag
         from repro.analysis.formats import (
             auto_insert_converters,
-            check_formats,
             runtime_expectations,
+            solve_formats_or_raise,
         )
 
-        solution = check_formats(DiagnosticBag(), self.program, pg)
+        solution = solve_formats_or_raise(self.program, pg)
         expectations = runtime_expectations(self.program, pg, solution=solution)
         pg, overrides, expectations = auto_insert_converters(
             self.program, pg, self.registry, expectations, solution
@@ -961,14 +960,13 @@ class ProcessRuntime:
         # expectations; recomputed per configuration so a splice installs
         # the new solution.  The same pipeline runs worker-side after a
         # splice (:meth:`_Worker._make_pg`) — keep the steps in lockstep.
-        from repro.analysis.diagnostics import DiagnosticBag
         from repro.analysis.formats import (
             auto_insert_converters,
-            check_formats,
             runtime_expectations,
+            solve_formats_or_raise,
         )
 
-        solution = check_formats(DiagnosticBag(), program, pg)
+        solution = solve_formats_or_raise(program, pg)
         expectations = runtime_expectations(program, pg, solution=solution)
         pg, overrides, expectations = auto_insert_converters(
             program, pg, self.registry, expectations, solution
@@ -2401,6 +2399,21 @@ class ProcessRuntime:
                     event["achieved_ratio"] = (
                         round(tail_fps / base, 4) if base else None
                     )
+        if self.fault_injector is not None:
+            # Unfired directives are a run-summary fact, not a silent
+            # no-op: a spec aimed past the last dispatched job would
+            # otherwise look like a fault that was survived.
+            for spec in self.fault_injector.remaining:
+                self.fault_events.append(
+                    {
+                        "kind": "unfired",
+                        "worker": None,
+                        "detail": (
+                            f"injected fault {spec.describe()} never fired "
+                            "(run dispatched fewer jobs)"
+                        ),
+                    }
+                )
         stream_stats = {
             name: self.streams.stream(name).stats for name in self.streams.names
         }

@@ -200,14 +200,13 @@ class ThreadedRuntime:
         # The reconciled port formats become each stream's authoritative
         # buffer expectation (replacing first-write inference); recomputed
         # here so reconfiguration installs the new configuration's solution.
-        from repro.analysis.diagnostics import DiagnosticBag
         from repro.analysis.formats import (
             auto_insert_converters,
-            check_formats,
             runtime_expectations,
+            solve_formats_or_raise,
         )
 
-        solution = check_formats(DiagnosticBag(), program, pg)
+        solution = solve_formats_or_raise(program, pg)
         expectations = runtime_expectations(program, pg, solution=solution)
         # X506 sites: bridge convertible dtype mismatches at build time;
         # the rebound reader/converter instances live in host.overrides.

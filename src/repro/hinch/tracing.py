@@ -86,9 +86,14 @@ class Tracer:
         return max(e.end for e in events) - min(e.start for e in events)
 
     def utilization(self, workers: int) -> float:
-        """Busy fraction across ``workers`` over the makespan."""
+        """Busy fraction across ``workers`` over the makespan.
+
+        Degenerate denominators — an empty trace, a zero-length span, or
+        zero workers (lazy spawn can finish a trivial run before any
+        worker forks) — yield 0.0 rather than dividing by zero.
+        """
         span = self.makespan()
-        if span <= 0:
+        if span <= 0 or workers <= 0:
             return 0.0
         return self.busy_time() / (span * workers)
 

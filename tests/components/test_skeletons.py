@@ -159,10 +159,20 @@ def test_reduce_unknown_op_rejected():
                    params={"width": W, "height": H})
     main.component("r", "reduce_plane", streams={"input": "raw", "output": "m"},
                    params={"width": W, "height": H, "op": "median"})
-    main.component("snk", "plane_sink", streams={"input": "m"},
-                   params={"width": W, "height": H})
-    program = expand(b2.build(), PORTS)
-    rt = ThreadedRuntime(program, REG, nodes=1, max_iterations=1)
+    main.component("snk", "scalar_sink", streams={"input": "m"})
+    # an undeclared-format sink: the scalar stream reconciles via inference
+    from repro.core.ports import PortSpec
+    from repro.hinch.component import Component
+
+    class ScalarSink(Component):
+        ports = PortSpec(inputs=("input",))
+
+        def run(self, job):
+            job.read("input")
+
+    reg = default_registry({"scalar_sink": ScalarSink})
+    program = expand(b2.build(), default_ports(reg))
+    rt = ThreadedRuntime(program, reg, nodes=1, max_iterations=1)
     with pytest.raises(ComponentError, match="unknown reduce op"):
         rt.run()
 

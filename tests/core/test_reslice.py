@@ -1,0 +1,164 @@
+"""Crossdep eligibility of :mod:`repro.core.reslice` (fuzzer-pinned).
+
+The width of a crossdep region is part of its *semantics* — the halo
+edges encode neighbour exchange for the copy count the author chose — so
+no crossdep member may ever be reported width-elastic, no matter how the
+region nests: directly, under options/managers, beside eligible sliced
+groups, or with slice regions nested inside its parblocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import build_blur, make_program
+from repro.core.builder import AppBuilder
+from repro.core.reslice import reslice, slice_groups
+from repro.errors import ExpansionError, ReconfigurationError
+
+
+def _expand(b: AppBuilder, name: str):
+    return make_program(b.build(), name=name)
+
+
+def _blur_params(width=48, height=36):
+    return {"width": width, "height": height, "size": 3, "sigma": 1.0}
+
+
+def _crossdep(main, *, tag: str, n: int, in_stream: str, out_stream: str,
+              width=48, height=36):
+    params = _blur_params(width, height)
+    with main.parallel("crossdep", n=n):
+        with main.parblock():
+            main.component(f"h{tag}", "blur_h_field",
+                           streams={"input": in_stream,
+                                    "output": f"mid{tag}"},
+                           params=params)
+        with main.parblock():
+            main.component(f"v{tag}", "blur_v_field",
+                           streams={"input": f"mid{tag}",
+                                    "output": out_stream},
+                           params=params)
+
+
+def _source_sink(main, *, out="raw", sink_in="out", width=48, height=36):
+    main.component("src", "luma_source", streams={"output": out},
+                   params={"width": width, "height": height, "seed": 1})
+    return lambda: main.component(
+        "sink", "plane_sink", streams={"input": sink_in},
+        params={"width": width, "height": height})
+
+
+def test_sibling_crossdeps_are_never_elastic():
+    """Two crossdep regions in series: neither may form a slice group."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    close = _source_sink(main, sink_in="out")
+    _crossdep(main, tag="a", n=3, in_stream="raw", out_stream="stage")
+    _crossdep(main, tag="b", n=3, in_stream="stage", out_stream="out")
+    close()
+    program = _expand(b, "sibling-crossdeps")
+    assert slice_groups(program) == {}
+    # and reslicing any crossdep member is rejected outright
+    member_def = next(
+        inst.definition_id
+        for inst in program.components.values()
+        if inst.class_name == "blur_h_field"
+    )
+    with pytest.raises(ReconfigurationError):
+        reslice(program, {member_def: 2})
+
+
+def test_crossdep_beside_eligible_group():
+    """An eligible sliced group next to a crossdep stays eligible; the
+    crossdep members stay out — the walk must not leak the crossdep flag
+    across siblings."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    close = _source_sink(main, sink_in="out")
+    _crossdep(main, tag="a", n=3, in_stream="raw", out_stream="stage")
+    with main.parallel("slice", n=4):
+        main.component("conv", "convert_plane",
+                       streams={"input": "stage", "output": "out"},
+                       params={"dtype": "uint8", "width": 48, "height": 36})
+    close()
+    program = _expand(b, "crossdep-then-slice")
+    groups = slice_groups(program)
+    assert len(groups) == 1
+    (group,) = groups.values()
+    assert group.class_name == "convert_plane"
+    assert group.total == 4
+    assert all("conv" in m for m in group.members)
+
+
+def test_slice_region_nested_inside_crossdep_is_rejected_at_expand():
+    """A slice group nested *inside* a crossdep parblock can never become
+    width-elastic because the expander refuses to build it at all —
+    re-slicing copies inside a halo region would change what the
+    surrounding copies see.  Pin the rejection (not a silent drop)."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    close = _source_sink(main, sink_in="out")
+    params = _blur_params()
+    with main.parallel("crossdep", n=2):
+        with main.parblock():
+            with main.parallel("slice", n=2):
+                main.component("inner", "convert_plane",
+                               streams={"input": "raw", "output": "mid"},
+                               params={"dtype": "uint8", "width": 48,
+                                       "height": 36})
+        with main.parblock():
+            main.component("v", "blur_v_field",
+                           streams={"input": "mid", "output": "out"},
+                           params=params)
+    close()
+    with pytest.raises(ExpansionError, match="nested data-parallel"):
+        _expand(b, "nested-slice-in-crossdep")
+
+
+def test_crossdep_under_option_and_manager_is_not_elastic():
+    """Blur-35: both kernel-size options hold a crossdep region; the
+    manager/option wrappers must preserve the crossdep taint."""
+    spec = build_blur(reconfigurable=True, width=48, height=36, slices=3,
+                      frames=2)
+    program = make_program(spec, name="blur35")
+    groups = slice_groups(program)
+    blur_defs = {
+        inst.definition_id
+        for inst in program.components.values()
+        if inst.class_name in ("blur_h_field", "blur_v_field")
+    }
+    assert blur_defs  # the options really contain blur copies
+    assert not (set(groups) & blur_defs)
+
+
+def test_reslice_never_touches_crossdep_members():
+    """reslice() of an eligible sibling leaves every crossdep member,
+    id, and slice assignment untouched."""
+    b = AppBuilder()
+    main = b.procedure("main")
+    close = _source_sink(main, sink_in="out")
+    _crossdep(main, tag="a", n=3, in_stream="raw", out_stream="stage")
+    with main.parallel("slice", n=4):
+        main.component("conv", "convert_plane",
+                       streams={"input": "stage", "output": "out"},
+                       params={"dtype": "uint8", "width": 48, "height": 36})
+    close()
+    program = _expand(b, "reslice-sibling")
+    target = next(iter(slice_groups(program)))
+    narrowed = reslice(program, {target: 2})
+    before = {
+        iid: inst.slice
+        for iid, inst in program.components.items()
+        if inst.class_name.startswith("blur_")
+    }
+    after = {
+        iid: inst.slice
+        for iid, inst in narrowed.components.items()
+        if inst.class_name.startswith("blur_")
+    }
+    assert before == after
+    assert sum(
+        1 for inst in narrowed.components.values()
+        if inst.class_name == "convert_plane"
+    ) == 2

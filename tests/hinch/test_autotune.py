@@ -12,6 +12,8 @@ other reconfiguration: bit-identical output.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -509,3 +511,46 @@ def test_deadline_objective_requires_a_deadline():
     with pytest.raises(SchedulingError):
         ProcessRuntime(program, REG, workers=2, max_iterations=4,
                        autotune=True, objective="latency")
+
+
+# -- degenerate windows (fuzzer-pinned) --------------------------------------
+
+
+def test_degenerate_window_is_legal_and_nan_free():
+    """A window can close with zero iterations, zero jobs, and zero
+    forked workers (lazy spawn); the controller must digest it without
+    raising or emitting a non-finite prediction."""
+    ctl = AutotuneController(AutotuneConfig())
+    empty = _obs(0, iterations=0, jobs=0, worker_busy={}, node_busy={},
+                 live=0, wall=1e-9)
+    for window in range(4):
+        decision = ctl.observe(
+            _obs(window, iterations=0, jobs=0, worker_busy={},
+                 node_busy={}, live=0, wall=1e-9)
+        )
+        if decision is not None:
+            assert math.isfinite(decision.predicted_ratio)
+    assert empty.wall > 0
+
+
+@pytest.mark.parametrize(
+    "kwargs, needle",
+    [
+        ({"wall": float("nan")}, "wall"),
+        ({"wall": float("inf")}, "wall"),
+        ({"wall": -1.0}, "wall"),
+        ({"iterations": -1}, "iterations"),
+        ({"jobs": -2}, "jobs"),
+        ({"live": -1}, "live_workers"),
+        ({"worker_busy": {0: float("nan")}}, "worker 0"),
+        ({"node_busy": {"stage": float("inf")}}, "node 'stage'"),
+        ({"node_busy": {"stage": -0.5}}, "node 'stage'"),
+    ],
+    ids=["nan-wall", "inf-wall", "negative-wall", "negative-iterations",
+         "negative-jobs", "negative-live", "nan-worker-busy",
+         "inf-node-busy", "negative-node-busy"],
+)
+def test_observation_rejects_nonfinite_measurements(kwargs, needle):
+    with pytest.raises(ValueError, match="window 3") as exc:
+        _obs(3, **kwargs)
+    assert needle in str(exc.value)

@@ -285,3 +285,45 @@ def test_scheduler_requeue_guards():
             rt.scheduler.requeue(Job(iteration=0, node_id="nope"))
     finally:
         rt.pool.close()
+
+
+# -- spec hygiene (fuzzer-pinned) --------------------------------------------
+
+
+def test_injector_rejects_duplicate_indices_in_spec_lists():
+    """The dict keyed by at_job would silently keep only the last
+    directive — programmatic spec lists get the same rejection as the
+    parsed CLI syntax."""
+    specs = [FaultSpec("kill", 2), FaultSpec("slow", 2, ms=10.0)]
+    with pytest.raises(SchedulingError, match="job 2"):
+        FaultInjector(specs)
+
+
+def test_fault_spec_describe_round_trips_through_parser():
+    specs = parse_faults("kill:1,hang:5,slow:2:50,slow:7:2.5")
+    text = ",".join(s.describe() for s in specs)
+    assert text == "kill:1,hang:5,slow:2:50,slow:7:2.5"
+    assert parse_faults(text) == specs
+
+
+def test_injector_remaining_reports_unfired_specs():
+    inj = FaultInjector("kill:2,slow:9:10,kill:40")
+    inj.directive(1)
+    inj.directive(2)
+    assert [s.describe() for s in inj.remaining] == ["slow:9:10", "kill:40"]
+
+
+def test_unfired_faults_surface_in_run_summary():
+    """A fault aimed past the end of the run must not vanish silently:
+    the run result carries an ``unfired`` event naming the spec."""
+    rt = make_process(blur_spec(), iters=2, workers=1,
+                      faults="kill:1,kill:5000")
+    before = shm_entries()
+    result = rt.run()
+    assert shm_entries() == before
+    unfired = [e for e in result.fault_events if e["kind"] == "unfired"]
+    assert len(unfired) == 1
+    assert "kill:5000" in unfired[0]["detail"]
+    assert "never fired" in unfired[0]["detail"]
+    # the fired kill still recovered normally
+    assert kinds_of(result).get("worker_failure") == 1

@@ -279,3 +279,13 @@ def test_concurrent_producers_consumers():
         c.join(timeout=2)
     assert len(consumed) == produced
     assert len(set(consumed)) == produced
+
+
+def test_utilization_zero_workers_guarded():
+    """Lazy spawn can finish a trivial run before any worker forks — a
+    zero (or negative) worker count must yield 0.0, not divide by zero."""
+    t = Tracer()
+    t.record(make_event("a", 0, 0.0, 2.0))
+    assert t.utilization(0) == 0.0
+    assert t.utilization(-1) == 0.0
+    assert t.utilization(2) > 0.0

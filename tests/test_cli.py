@@ -104,3 +104,68 @@ def test_unknown_figure_rejected():
 def test_missing_subcommand_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- run-knob validation (fuzzer-pinned usage errors) ------------------------
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        ["--batch", "0"],
+        ["--workers", "0"],
+        ["--nodes", "0"],
+        ["--iterations", "-1"],
+        ["--pipeline-depth", "0"],
+        ["--max-retries", "-1"],
+        ["--backend", "process", "--watchdog", "0"],
+    ],
+    ids=lambda extra: " ".join(extra),
+)
+def test_run_rejects_degenerate_knobs(blur_xml, capsys, extra):
+    assert main(["run", str(blur_xml), *extra]) == 2
+    assert "usage error:" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        ["--backend", "sim", "--inject-fault", "kill:1"],
+        ["--backend", "threaded", "--inject-fault", "kill:1"],
+        ["--backend", "threaded", "--batch", "4"],
+        ["--backend", "sim", "--fuse"],
+        ["--backend", "threaded", "--autotune"],
+        ["--backend", "process", "--deadline", "50"],
+        ["--backend", "process", "--autotune", "--objective", "deadline"],
+    ],
+    ids=lambda extra: " ".join(extra),
+)
+def test_run_rejects_incoherent_knob_combinations(blur_xml, capsys, extra):
+    assert main(["run", str(blur_xml), *extra]) == 2
+    assert "usage error:" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "spec",
+    ["kill:1,slow:1:5", "kill:0", "slow:2", "frob:1", "kill:one"],
+    ids=["duplicate-index", "zero-index", "slow-missing-ms",
+         "unknown-kind", "non-numeric"],
+)
+def test_run_rejects_bad_fault_specs_up_front(blur_xml, capsys, spec):
+    assert main([
+        "run", str(blur_xml), "--backend", "process",
+        "--inject-fault", spec,
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "usage error:" in err
+
+
+def test_run_warns_about_unfired_faults(blur_xml, capsys):
+    assert main([
+        "run", str(blur_xml), "--backend", "process", "--workers", "1",
+        "--iterations", "2", "--inject-fault", "kill:999",
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "completed 2 iterations" in captured.out
+    assert "fault recovery: unfired=1" in captured.out
+    assert "kill:999 never fired" in captured.err
